@@ -1,0 +1,47 @@
+"""Engine micro-benchmarks (not a paper artefact).
+
+Times the three computational kernels every experiment rests on: one
+vertical Poisson solve, one vectorised compact-model evaluation, and one
+inverter transient.  Useful for tracking performance regressions.
+"""
+
+import numpy as np
+
+from repro.compact.model import BsimSoi4Lite
+from repro.compact.parameters import default_parameters
+from repro.spice import Capacitor, Circuit, Mosfet, dc_source, pulse_source, transient
+from repro.tcad.device import Polarity
+from repro.tcad.poisson1d import Poisson1D, StackSpec
+
+
+def test_poisson_solve(benchmark):
+    solver = Poisson1D(StackSpec(t_ox=1e-9, t_si=7e-9, t_box=100e-9))
+    solution = benchmark(solver.solve, 0.8)
+    assert solution.q_inv > 0
+
+
+def test_compact_batch_eval(benchmark):
+    model = BsimSoi4Lite(params=default_parameters())
+    vgs = np.linspace(0.0, 1.0, 1000)
+    vds = np.full_like(vgs, 1.0)
+    ids = benchmark(model.ids_batch, vgs, vds)
+    assert np.all(np.isfinite(ids))
+
+
+def test_inverter_transient(benchmark):
+    from repro.cells.variants import extracted_model_set, DeviceVariant
+    models = extracted_model_set(DeviceVariant.TWO_D)
+
+    def build_and_run():
+        c = Circuit("inv")
+        c.add(dc_source("VDD", "vdd", "0", 1.0))
+        c.add(pulse_source("VIN", "in", "0", v1=0.0, v2=1.0, delay=2e-10,
+                           rise=1e-11, fall=1e-11, width=1e-9,
+                           period=2.4e-9))
+        c.add(Mosfet("MP", "out", "in", "vdd", models.pmos))
+        c.add(Mosfet("MN", "out", "in", "0", models.nmos))
+        c.add(Capacitor("CL", "out", "0", 1e-15))
+        return transient(c, t_stop=2.3e-9, dt=2e-11)
+
+    result = benchmark.pedantic(build_and_run, rounds=1, iterations=1)
+    assert result.waveform("out").maximum() > 0.95

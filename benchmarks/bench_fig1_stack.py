@@ -1,0 +1,34 @@
+"""Figure 1 — the 2-layer M3D FDSOI stack and MIV roles.
+
+Audits the vertical stack (sequential integration: thin top tier, thin
+inter-layer distance, sub-0.1 um MIV span) and the internal/external MIV
+footprint asymmetry that motivates the MIV-transistor.
+"""
+
+from repro.geometry.layers import build_m3d_stack
+from repro.geometry.miv import MivGeometry, MivRole
+from repro.geometry.process import DEFAULT_PROCESS
+
+
+def _build_and_audit():
+    stack = build_m3d_stack(DEFAULT_PROCESS)
+    internal = MivGeometry(DEFAULT_PROCESS, MivRole.INTERNAL_CONTACT)
+    external = MivGeometry(DEFAULT_PROCESS, MivRole.EXTERNAL_CONTACT)
+    return stack, internal, external
+
+
+def test_fig1_stack(benchmark):
+    stack, internal, external = benchmark(_build_and_audit)
+    # Sequential integration: the top film is far thinner than the
+    # carrier wafer, and the tier-to-tier span stays sub-micron.
+    assert stack.find("top_active").thickness < 0.1e-6
+    assert stack.miv_span() < 1e-6
+    # MIV role asymmetry (the paper's Section II): internal contacts are
+    # free, external contacts pay the keep-out.
+    assert internal.footprint_area == 0.0
+    assert external.footprint_area > (25e-9) ** 2 * 7
+    print("\n[Figure 1] stack: %d layers, %.0f nm total; MIV span %.0f nm; "
+          "external MIV footprint %.0f x %.0f nm" % (
+              len(stack.layers), stack.total_thickness * 1e9,
+              stack.miv_span() * 1e9, external.footprint_side * 1e9,
+              external.footprint_side * 1e9))

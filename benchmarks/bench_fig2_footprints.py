@@ -1,0 +1,34 @@
+"""Figure 2 — MIV-transistor layouts (1/2/4-channel + traditional).
+
+Regenerates the four top-view layouts and verifies the width partition
+192 = 2 x 96 = 4 x 48 nm and the footprint ordering.
+"""
+
+import pytest
+
+from repro.geometry.process import DEFAULT_PROCESS
+from repro.geometry.transistor_layout import ChannelCount, layout_for_variant
+
+
+def _build_all():
+    return {v: layout_for_variant(v, DEFAULT_PROCESS) for v in ChannelCount}
+
+
+def test_fig2_footprints(benchmark):
+    layouts = benchmark(_build_all)
+    # Width partition of Section III.
+    assert layouts[ChannelCount.ONE].channel_width == pytest.approx(192e-9)
+    assert layouts[ChannelCount.TWO].channel_width == pytest.approx(96e-9)
+    assert layouts[ChannelCount.FOUR].channel_width == pytest.approx(48e-9)
+    for layout in layouts.values():
+        assert layout.total_width == pytest.approx(192e-9)
+    # Merging the MIV into the gate shrinks the device footprint.
+    assert (layouts[ChannelCount.TWO].area <
+            layouts[ChannelCount.ONE].area <
+            layouts[ChannelCount.TRADITIONAL].area)
+    print("\n[Figure 2] footprints (nm x nm):")
+    for variant, layout in layouts.items():
+        print("  %-12s %4.0f x %4.0f  (%d channels of %.0f nm)" % (
+            variant.name.lower(), layout.body_width * 1e9,
+            layout.height * 1e9, layout.n_channels,
+            layout.channel_width * 1e9))

@@ -1,0 +1,30 @@
+"""Figure 5(a) — average propagation delay per cell, four implementations.
+
+Paper: average delay -3% (1-ch), -2% (2-ch), +2% (4-ch) vs the 2-D
+baseline.  We verify the signs and rough magnitudes.
+"""
+
+from repro.cells.variants import DeviceVariant
+from repro.reporting.figures import fig5_series, render_csv
+
+
+def test_fig5a(benchmark, ppa_comparison):
+    series = benchmark(fig5_series, ppa_comparison, "delay", 1e12)
+    assert len(series["cells"]) == 14
+
+    one = ppa_comparison.average_change_percent(DeviceVariant.MIV_1CH,
+                                                "delay")
+    two = ppa_comparison.average_change_percent(DeviceVariant.MIV_2CH,
+                                                "delay")
+    four = ppa_comparison.average_change_percent(DeviceVariant.MIV_4CH,
+                                                 "delay")
+    # Shape: 1-ch and 2-ch faster than 2D (paper -3%/-2%), 4-ch slower
+    # (paper +2%).
+    assert -7.0 < one < -0.5
+    assert -7.0 < two < -0.5
+    assert 0.3 < four < 6.0
+
+    print("\n[Figure 5a] delay per cell (ps):")
+    print(render_csv(series, float_format="{:.3f}"))
+    print("[Figure 5a] average vs 2D: 1-ch %+.1f%%  2-ch %+.1f%%  "
+          "4-ch %+.1f%%  (paper: -3%% / -2%% / +2%%)" % (one, two, four))

@@ -1,0 +1,30 @@
+"""Figure 5(b) — average power per cell, four implementations.
+
+Paper: average power -0.5% (1-ch), -1% (2-ch), -2% (4-ch) vs the 2-D
+baseline — all MIV variants save power, with ~1%-scale magnitudes.
+"""
+
+from repro.cells.variants import DeviceVariant
+from repro.reporting.figures import fig5_series, render_csv
+
+
+def test_fig5b(benchmark, ppa_comparison):
+    series = benchmark(fig5_series, ppa_comparison, "power", 1e6)
+    assert len(series["cells"]) == 14
+
+    changes = {
+        variant: ppa_comparison.average_change_percent(variant, "power")
+        for variant in (DeviceVariant.MIV_1CH, DeviceVariant.MIV_2CH,
+                        DeviceVariant.MIV_4CH)
+    }
+    # Shape: every MIV variant reduces average power, at the ~1% scale.
+    for variant, change in changes.items():
+        assert -4.0 < change < 0.0, f"{variant.value}: {change:+.2f}%"
+
+    print("\n[Figure 5b] power per cell (uW):")
+    print(render_csv(series, float_format="{:.4f}"))
+    print("[Figure 5b] average vs 2D: 1-ch %+.2f%%  2-ch %+.2f%%  "
+          "4-ch %+.2f%%  (paper: -0.5%% / -1%% / -2%%)" % (
+              changes[DeviceVariant.MIV_1CH],
+              changes[DeviceVariant.MIV_2CH],
+              changes[DeviceVariant.MIV_4CH]))

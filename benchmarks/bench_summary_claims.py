@@ -1,0 +1,43 @@
+"""The abstract / summary headline claims.
+
+Paper: "standard cells created using 2-channel MIV-transistors had shown
+a 3% reduction in the overall power-delay-product and 18% average layout
+area reduction compared to the traditional 2-layer implementation";
+"power consumption and delay time ... reduced by 1% and 3% on average".
+"""
+
+from repro.cells.variants import DeviceVariant
+from repro.reporting.paper import FIG5_REFERENCE
+
+
+def _collect(comparison):
+    return {
+        "pdp_2ch": comparison.average_change_percent(
+            DeviceVariant.MIV_2CH, "pdp"),
+        "area_2ch": comparison.average_change_percent(
+            DeviceVariant.MIV_2CH, "area"),
+        "delay_1ch": comparison.average_change_percent(
+            DeviceVariant.MIV_1CH, "delay"),
+        "power_2ch": comparison.average_change_percent(
+            DeviceVariant.MIV_2CH, "power"),
+    }
+
+
+def test_summary_claims(benchmark, ppa_comparison):
+    summary = benchmark(_collect, ppa_comparison)
+
+    # 2-ch PDP reduction (paper: ~3%).
+    assert summary["pdp_2ch"] < -1.0
+    # 2-ch area reduction (paper: 18%).
+    assert -20.0 < summary["area_2ch"] < -12.0
+    # best delay reduction among MIV variants ~3% (paper).
+    assert summary["delay_1ch"] < -1.0
+    # power reduced on average (paper ~1%).
+    assert summary["power_2ch"] < 0.0
+
+    print("\n[Summary] measured vs paper (average change vs 2D):")
+    print("  2-ch PDP    %+.1f%%   (paper ~ -3%%)" % summary["pdp_2ch"])
+    print("  2-ch area   %+.1f%%   (paper  -18%%)" % summary["area_2ch"])
+    print("  1-ch delay  %+.1f%%   (paper  -3%%)" % summary["delay_1ch"])
+    print("  2-ch power  %+.2f%%   (paper  -1%%)" % summary["power_2ch"])
+    print("  paper Fig.5 reference:", FIG5_REFERENCE)

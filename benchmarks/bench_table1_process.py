@@ -1,0 +1,31 @@
+"""Table I — process and design parameters.
+
+Regenerates the table and checks every row against the paper's values.
+"""
+
+import pytest
+
+from repro.geometry.process import DEFAULT_PROCESS
+from repro.reporting.tables import render_table1
+
+PAPER_TABLE1 = {
+    "t_Si [nm]": 7.0,
+    "h_src [nm]": 7.0,
+    "t_ox [nm]": 1.0,
+    "n_src [cm^-3]": 1e19,
+    "t_spacer [nm]": 10.0,
+    "t_BOX [nm]": 100.0,
+    "t_miv [nm]": 25.0,
+    "l_src [nm]": 48.0,
+    "w_src [nm]": 192.0,
+    "L_G [nm]": 24.0,
+}
+
+
+def test_table1(benchmark):
+    text = benchmark(render_table1)
+    table = DEFAULT_PROCESS.as_table1()
+    assert set(table) == set(PAPER_TABLE1)
+    for key, expected in PAPER_TABLE1.items():
+        assert table[key] == pytest.approx(expected), key
+    print("\n[Table I]\n" + text)

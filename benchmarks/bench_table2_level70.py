@@ -1,0 +1,28 @@
+"""Table II — level-70 constants and flags used in extraction."""
+
+import pytest
+
+from repro.compact.parameters import LEVEL70_CONSTANTS
+from repro.reporting.tables import render_table2
+
+PAPER_TABLE2 = {
+    "LEVEL": 70,
+    "MOBMOD": 4,
+    "CAPMOD": 3,
+    "IGCMOD": 0,
+    "SOIMOD": 2,
+    "TSI": 7e-9,
+    "TOX": 1e-9,
+    "TBOX": 100e-9,
+    "L": 48e-9,
+    "W": 192e-9,
+    "TNOM": 25.0,
+}
+
+
+def test_table2(benchmark):
+    text = benchmark(render_table2)
+    assert set(LEVEL70_CONSTANTS) == set(PAPER_TABLE2)
+    for key, expected in PAPER_TABLE2.items():
+        assert LEVEL70_CONSTANTS[key] == pytest.approx(expected), key
+    print("\n[Table II]\n" + text)

@@ -1,0 +1,34 @@
+"""Table III — TCAD-to-SPICE extraction errors.
+
+Runs the Figure-3 staged flow (Low Drain -> High Drain -> Capacitance)
+on all eight devices and verifies the paper's bound: every regional error
+under 10%.
+"""
+
+from repro.extraction.flow import score_regions
+from repro.geometry.transistor_layout import ChannelCount
+from repro.reporting.paper import TABLE3_REFERENCE
+from repro.reporting.tables import render_table3
+from repro.tcad.device import Polarity
+
+
+def test_table3(benchmark, extraction_report):
+    # Benchmark the scoring step (the extraction itself runs once in the
+    # session fixture; re-running it per round would take minutes).
+    device = extraction_report.device(ChannelCount.FOUR, Polarity.NMOS)
+    scores = benchmark(score_regions, device.model, device.targets)
+    assert set(scores) == {"IDVG", "IDVD", "CV"}
+
+    # The paper's claim: "overall extraction error was under 10% for all
+    # cases" — check every cell of our Table III.
+    assert extraction_report.max_error() < 10.0
+
+    print("\n[Table III] measured extraction errors:")
+    print(render_table3(extraction_report))
+    print("[Table III] paper reference (for comparison):")
+    for region, devices in TABLE3_REFERENCE.items():
+        row = [region]
+        for dev in ("FOUR", "TWO", "ONE", "TRADITIONAL"):
+            row.append("%s n=%.1f%% p=%.1f%%" % (
+                dev.lower()[:4], devices[dev]["n"], devices[dev]["p"]))
+        print("  " + "  ".join(row))

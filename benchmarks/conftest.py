@@ -1,0 +1,28 @@
+"""Benchmark fixtures.
+
+The expensive pipeline stages (TCAD characterisation of eight devices,
+staged extraction, the full 14-cell x 4-variant transient sweep) run once
+per session; individual benchmarks then measure and verify their piece
+against the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flows.full_flow import run_extractions
+from repro.ppa.comparison import PpaComparison
+from repro.ppa.runner import PpaRunner
+
+
+@pytest.fixture(scope="session")
+def extraction_report():
+    """Table III input: all eight devices extracted."""
+    return run_extractions()
+
+
+@pytest.fixture(scope="session")
+def ppa_comparison():
+    """Figure 5 input: the full cells x variants PPA sweep."""
+    runner = PpaRunner()
+    return PpaComparison.from_results(runner.sweep())

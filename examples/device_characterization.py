@@ -1,0 +1,51 @@
+"""Device deep-dive: TCAD-lite characterisation of all four devices.
+
+Reproduces the Section II / III device study: builds the traditional
+FDSOI transistor and the 1/2/4-channel MIV-transistors, sweeps Id-Vg
+(linear and saturation), Id-Vd and C-V, and prints the figures of merit
+that explain the Figure-5 trends (Ion, Ioff, subthreshold swing, drive
+ratios).
+
+Run:  python examples/device_characterization.py   (about 10 seconds)
+"""
+
+from repro.extraction.targets import cached_targets
+from repro.geometry.transistor_layout import ChannelCount
+from repro.tcad.device import Polarity, design_for_variant
+
+VARIANTS = (ChannelCount.TRADITIONAL, ChannelCount.ONE, ChannelCount.TWO,
+            ChannelCount.FOUR)
+
+
+def main() -> None:
+    print("Device figures of merit (NMOS, W=192 nm, L_G=24 nm, VDD=1 V)\n")
+    header = (f"{'device':<12} {'Ion [uA]':>9} {'Ioff [pA]':>10} "
+              f"{'SS [mV/dec]':>12} {'Cgg(1V) [fF]':>13} {'drive':>6}")
+    print(header)
+    print("-" * len(header))
+
+    base_ion = None
+    for variant in VARIANTS:
+        device = design_for_variant(variant, Polarity.NMOS)
+        targets = cached_targets(variant, Polarity.NMOS)
+        ion = targets.idvg_sat.i[-1]
+        ioff = targets.idvg_sat.i[0]
+        swing = device.engine.subthreshold_swing()
+        cgg = device.gate_capacitance(1.0)
+        if base_ion is None:
+            base_ion = ion
+        print(f"{variant.name.lower():<12} {ion * 1e6:>9.1f} "
+              f"{ioff * 1e12:>10.3f} {swing * 1e3:>12.1f} "
+              f"{cgg * 1e15:>13.4f} {ion / base_ion:>6.3f}")
+
+    print("\nWhy the Figure-5 trends happen:")
+    print(" * 1-ch / 2-ch: the MIV side-gate lowers V_th (better body")
+    print("   control) -> ~6% more drive -> faster cells;")
+    print(" * 4-ch: 48 nm fingers suffer edge scattering and the ring")
+    print("   gate stretches the channel -> ~4% less drive -> slower;")
+    print(" * all MIV variants drop the gate-contact keep-out zone ->")
+    print("   smaller layouts and shorter wires.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Characterise cells into a Liberty-lite (.lib) timing library.
+
+Runs NLDM-style characterisation (delay and output-transition tables
+over an input-slew x output-load grid, AC input capacitances, DC leakage)
+for a few cells in the 2-D and 2-channel implementations and prints the
+resulting .lib-flavoured library — the artefact a place-and-route flow
+would consume from this standard-cell study.
+
+Run:  python examples/liberty_characterization.py   (about two minutes)
+"""
+
+from repro.cells.library import get_cell
+from repro.cells.liberty import (
+    CharacterizationGrid,
+    characterize_cell,
+    render_liberty,
+)
+from repro.cells.variants import DeviceVariant, extracted_model_set
+
+CELLS = ("INV1X1", "NAND2X1")
+GRID = CharacterizationGrid(slews=(1e-11, 4e-11),
+                            loads=(0.5e-15, 1e-15, 2e-15))
+
+
+def main() -> None:
+    characterizations = []
+    for variant in (DeviceVariant.TWO_D, DeviceVariant.MIV_2CH):
+        models = extracted_model_set(variant)
+        for name in CELLS:
+            print(f"characterising {name} ({variant.value}) ...")
+            characterizations.append(
+                characterize_cell(get_cell(name), models, GRID))
+
+    print("\n" + render_liberty(characterizations))
+
+    inv_2d, _, inv_2ch, _ = characterizations
+    print("\nDelay at the paper's operating point (10 ps slew, 1 fF):")
+    d2d = inv_2d.delay_at("a", 1e-11, 1e-15)
+    d2c = inv_2ch.delay_at("a", 1e-11, 1e-15)
+    print(f"  INV1X1 2D    {d2d * 1e12:.3f} ps")
+    print(f"  INV1X1 2-ch  {d2c * 1e12:.3f} ps  "
+          f"({100 * (d2c / d2d - 1):+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "FDSOI Process Based MIV-transistor Utilization
+for Standard Cell Designs in Monolithic 3D Integration" (SOCC 2023).
+
+The package rebuilds the paper's whole tool chain in Python:
+
+* :mod:`repro.tcad` — numerical FDSOI device simulator (Sentaurus stand-in),
+* :mod:`repro.compact` — BSIMSOI4-lite level-70 compact model,
+* :mod:`repro.extraction` — the staged TCAD-to-SPICE extraction of Fig. 3,
+* :mod:`repro.spice` — MNA circuit simulator (HSPICE stand-in),
+* :mod:`repro.cells` — the 14 standard cells in four implementations,
+* :mod:`repro.layout` — design-rule-driven area model,
+* :mod:`repro.ppa` — the Figure-5 power/performance/area harness,
+* :mod:`repro.flows` — one-call end-to-end pipeline,
+* :mod:`repro.reporting` — regeneration of every table and figure.
+
+Quickstart::
+
+    from repro import quick_ppa
+    comparison = quick_ppa(["INV1X1", "NAND2X1"])
+    print(comparison.render_metric("delay", scale=1e12, unit="ps"))
+"""
+
+from repro.geometry.process import DEFAULT_PROCESS, ProcessParameters
+from repro.geometry.transistor_layout import ChannelCount
+from repro.tcad.device import Polarity, design_for_variant
+from repro.cells.variants import DeviceVariant
+from repro.ppa.comparison import PpaComparison
+from repro.ppa.runner import PpaRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProcessParameters",
+    "DEFAULT_PROCESS",
+    "ChannelCount",
+    "Polarity",
+    "design_for_variant",
+    "DeviceVariant",
+    "PpaRunner",
+    "PpaComparison",
+    "quick_ppa",
+    "__version__",
+]
+
+
+def quick_ppa(cell_names=None) -> PpaComparison:
+    """Run the full pipeline on a set of cells and return the comparison.
+
+    Convenience wrapper over :class:`repro.ppa.runner.PpaRunner` — the
+    first call characterises and extracts all device variants (about half
+    a minute), later calls reuse the caches.
+    """
+    runner = PpaRunner()
+    return PpaComparison.from_results(runner.sweep(cell_names=cell_names))

@@ -1,0 +1,32 @@
+"""Extension studies beyond the paper's headline evaluation.
+
+* :mod:`repro.analysis.variation` — process-corner and Monte-Carlo
+  robustness of the MIV-transistor advantage (the paper evaluates the
+  nominal process only);
+* :mod:`repro.analysis.ring_oscillator` — ring-oscillator frequency per
+  implementation, an independent check on the Figure 5(a) delay trend.
+"""
+
+from repro.analysis.variation import (
+    CornerResult,
+    ProcessCorner,
+    STANDARD_CORNERS,
+    corner_drive_study,
+    monte_carlo_drive,
+)
+from repro.analysis.ring_oscillator import (
+    RingOscillatorResult,
+    build_ring_oscillator,
+    measure_ring_frequency,
+)
+
+__all__ = [
+    "ProcessCorner",
+    "CornerResult",
+    "STANDARD_CORNERS",
+    "corner_drive_study",
+    "monte_carlo_drive",
+    "build_ring_oscillator",
+    "measure_ring_frequency",
+    "RingOscillatorResult",
+]

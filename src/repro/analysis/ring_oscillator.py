@@ -1,0 +1,102 @@
+"""Ring oscillators from the extracted models.
+
+An N-stage (odd) inverter ring oscillates with period ~ 2 N t_p; its
+frequency is the classic technology benchmark.  Because the paper's
+proposal improves only the *top-layer n-type* device, the inverters are
+asymmetric: the stronger/lower-V_th NMOS speeds the falling output edge
+but also lowers the switching threshold, which under the ring's slow
+self-generated slews *delays* the rising edge.  The ring therefore probes
+a different operating regime than the sharply driven edges of the
+Figure 5(a) cells — a caveat for anyone adopting MIV-transistors on
+timing paths with weak drivers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cells.variants import DeviceVariant, extracted_model_set
+from repro.errors import SimulationError
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.mosfet import Mosfet
+from repro.spice.elements.vsource import VoltageSource, PwlSpec
+from repro.spice.netlist import Circuit
+from repro.spice.transient import TransientResult, transient
+
+
+@dataclass(frozen=True)
+class RingOscillatorResult:
+    """Measured oscillation of one ring."""
+
+    variant: DeviceVariant
+    n_stages: int
+    frequency: float          # Hz
+    stage_delay: float        # s (T / (2 N))
+    result: TransientResult
+
+    @property
+    def period(self) -> float:
+        """Oscillation period [s]."""
+        return 1.0 / self.frequency
+
+
+def build_ring_oscillator(variant: DeviceVariant, n_stages: int = 5,
+                          vdd: float = 1.0,
+                          stage_load: float = 1e-15) -> Circuit:
+    """An ``n_stages``-inverter ring with a kick-start source.
+
+    Each stage drives ``stage_load`` to ground (the paper's 1 fF cell
+    load convention).  A brief PWL pulse on the first node breaks the
+    metastable all-at-VDD/2 DC solution.
+    """
+    if n_stages < 3 or n_stages % 2 == 0:
+        raise SimulationError("ring needs an odd stage count >= 3")
+    models = extracted_model_set(variant)
+
+    circuit = Circuit(f"ro{n_stages}:{variant.value}")
+    circuit.add(VoltageSource("VDD", "vdd", "0", vdd))
+    for stage in range(n_stages):
+        inp = f"n{stage}"
+        out = f"n{(stage + 1) % n_stages}"
+        circuit.add(Mosfet(f"MP{stage}", out, inp, "vdd", models.pmos))
+        circuit.add(Mosfet(f"MN{stage}", out, inp, "0", models.nmos))
+        circuit.add(Capacitor(f"CL{stage}", out, "0", stage_load))
+    # Kick: a brief current injection into n0 breaks the metastable
+    # all-at-threshold DC point without loading the ring afterwards.
+    from repro.spice.elements.isource import CurrentSource
+    circuit.add(CurrentSource("IKICK", "0", "n0", PwlSpec((
+        (0.0, 0.0), (10e-12, 2e-4), (60e-12, 2e-4), (70e-12, 0.0)))))
+    return circuit
+
+
+def measure_ring_frequency(variant: DeviceVariant, n_stages: int = 5,
+                           vdd: float = 1.0, t_stop: float = 1.2e-9,
+                           dt: float = 1.0e-11) -> RingOscillatorResult:
+    """Simulate the ring and extract frequency from output crossings."""
+    circuit = build_ring_oscillator(variant, n_stages, vdd)
+    result = transient(circuit, t_stop=t_stop, dt=dt,
+                       record_nodes=["n0"])
+    waveform = result.waveform("n0")
+    # Discard the start-up third of the run, then average the periods
+    # between consecutive rising crossings of mid-rail.
+    settle = t_stop / 3.0
+    crossings = [t for t in waveform.crossings(vdd / 2.0, "rise")
+                 if t > settle]
+    if len(crossings) < 3:
+        raise SimulationError(
+            f"ring did not settle into oscillation ({len(crossings)} "
+            f"crossings after {settle:g}s)")
+    periods = np.diff(crossings)
+    period = float(np.mean(periods))
+    if np.std(periods) > 0.1 * period:
+        raise SimulationError("oscillation period is unstable")
+    frequency = 1.0 / period
+    return RingOscillatorResult(
+        variant=variant,
+        n_stages=n_stages,
+        frequency=frequency,
+        stage_delay=period / (2.0 * n_stages),
+        result=result,
+    )

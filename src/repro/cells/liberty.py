@@ -1,0 +1,203 @@
+"""Liberty-lite characterisation: NLDM-style tables per cell.
+
+Produces what a downstream digital flow actually consumes from a
+standard-cell library: for each cell and each input, a delay and an
+output-transition table over (input slew x output load), plus the
+input capacitance (small-signal, via AC analysis) and the average
+leakage power (DC, over all static input states).  A ``.lib``-flavoured
+text renderer serialises the result.
+
+This goes one step beyond the paper's single-point PPA (1 fF load,
+10 ps slew) and is the natural packaging of its standard-cell study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import itertools
+
+import numpy as np
+
+from repro.cells.netlist_builder import Parasitics, build_cell_circuit
+from repro.cells.spec import CellSpec
+from repro.cells.variants import ModelSet
+from repro.cells.vectors import StimulusRun, stimulus_plan_for
+from repro.errors import CellLibraryError
+from repro.ppa.delay import run_delays
+from repro.spice.ac import input_capacitance
+from repro.spice.dcop import solve_dc
+from repro.spice.elements.vsource import PulseSpec
+from repro.spice.transient import transient
+
+
+@dataclass(frozen=True)
+class CharacterizationGrid:
+    """The (input slew, output load) characterisation grid."""
+
+    slews: Tuple[float, ...] = (1e-11, 4e-11)
+    loads: Tuple[float, ...] = (0.5e-15, 1e-15, 2e-15)
+
+    def __post_init__(self) -> None:
+        if not self.slews or not self.loads:
+            raise CellLibraryError("grid needs slews and loads")
+        if any(s <= 0 for s in self.slews) or any(l <= 0 for l in self.loads):
+            raise CellLibraryError("grid values must be positive")
+
+
+@dataclass
+class TimingTable:
+    """A 2-D NLDM table: rows = slews, columns = loads."""
+
+    slews: Tuple[float, ...]
+    loads: Tuple[float, ...]
+    values: np.ndarray  # shape (n_slews, n_loads), seconds
+
+    def lookup(self, slew: float, load: float) -> float:
+        """Bilinear interpolation (clamped at the grid edges)."""
+        slews = np.asarray(self.slews)
+        loads = np.asarray(self.loads)
+        slew = float(np.clip(slew, slews[0], slews[-1]))
+        load = float(np.clip(load, loads[0], loads[-1]))
+        by_load = np.array([np.interp(load, loads, row)
+                            for row in self.values])
+        return float(np.interp(slew, slews, by_load))
+
+
+@dataclass
+class PinTiming:
+    """Timing of one input pin: delay and output-transition tables."""
+
+    input_name: str
+    delay: TimingTable
+    transition: TimingTable
+
+
+@dataclass
+class CellCharacterization:
+    """Full characterisation of one cell implementation."""
+
+    cell_name: str
+    variant_label: str
+    pins: Dict[str, PinTiming] = field(default_factory=dict)
+    input_caps: Dict[str, float] = field(default_factory=dict)
+    leakage_power: float = 0.0
+
+    def delay_at(self, input_name: str, slew: float, load: float) -> float:
+        """Interpolated delay [s] for one arc."""
+        return self.pins[input_name].delay.lookup(slew, load)
+
+
+def _measure_point(spec: CellSpec, models: ModelSet, run: StimulusRun,
+                   slew: float, load: float, vdd: float
+                   ) -> Tuple[float, float]:
+    """(delay, output transition) for one grid point."""
+    netlist = build_cell_circuit(spec, models, Parasitics(c_load=load))
+    for input_name, source_name in netlist.input_sources.items():
+        source = netlist.circuit.element(source_name)
+        if input_name == run.toggled_input:
+            kwargs = run.pulse_kwargs(vdd)
+            kwargs["rise"] = kwargs["fall"] = slew
+            source.waveform = PulseSpec(**kwargs)
+        else:
+            level = run.static_levels.get(input_name, False)
+            source.waveform = vdd if level else 0.0
+    record = [f"in_{run.toggled_input}", netlist.output_node]
+    result = transient(netlist.circuit, t_stop=run.t_stop, dt=2e-11,
+                       record_nodes=record)
+    delays = run_delays(netlist, run, result)
+    if not delays:
+        raise CellLibraryError(
+            f"{spec.name}/{run.toggled_input}: no output transition at "
+            f"slew={slew:g}, load={load:g}")
+    out = result.waveform(netlist.output_node)
+    transition = out.transition_time(0.1 * vdd, 0.9 * vdd, "rise")
+    return sum(delays) / len(delays), transition
+
+
+def _leakage_power(spec: CellSpec, models: ModelSet, vdd: float) -> float:
+    """Average static power over all input states [W]."""
+    netlist = build_cell_circuit(spec, models)
+    powers = []
+    x_prev = None
+    for bits in itertools.product((False, True), repeat=len(spec.inputs)):
+        for name, source_name in netlist.input_sources.items():
+            level = dict(zip(spec.inputs, bits))[name]
+            netlist.circuit.element(source_name).waveform = \
+                vdd if level else 0.0
+        op = solve_dc(netlist.circuit, x0=x_prev)
+        x_prev = op.x
+        powers.append(-vdd * op.current(netlist.vdd_source))
+    return sum(powers) / len(powers)
+
+
+def _pin_capacitance(spec: CellSpec, models: ModelSet, input_name: str,
+                     vdd: float) -> float:
+    """Small-signal input capacitance at mid-rail bias [F]."""
+    netlist = build_cell_circuit(spec, models)
+    for name, source_name in netlist.input_sources.items():
+        netlist.circuit.element(source_name).waveform = \
+            vdd / 2 if name == input_name else 0.0
+    return input_capacitance(netlist.circuit,
+                             netlist.input_sources[input_name])
+
+
+def characterize_cell(spec: CellSpec, models: ModelSet,
+                      grid: Optional[CharacterizationGrid] = None,
+                      vdd: float = 1.0) -> CellCharacterization:
+    """Characterise one cell implementation over the NLDM grid."""
+    grid = grid or CharacterizationGrid()
+    plan = stimulus_plan_for(spec)
+    result = CellCharacterization(cell_name=spec.name,
+                                  variant_label=models.variant.value)
+    for run in plan.runs:
+        delays = np.zeros((len(grid.slews), len(grid.loads)))
+        transitions = np.zeros_like(delays)
+        for i, slew in enumerate(grid.slews):
+            for j, load in enumerate(grid.loads):
+                delays[i, j], transitions[i, j] = _measure_point(
+                    spec, models, run, slew, load, vdd)
+        result.pins[run.toggled_input] = PinTiming(
+            input_name=run.toggled_input,
+            delay=TimingTable(grid.slews, grid.loads, delays),
+            transition=TimingTable(grid.slews, grid.loads, transitions),
+        )
+        result.input_caps[run.toggled_input] = _pin_capacitance(
+            spec, models, run.toggled_input, vdd)
+    result.leakage_power = _leakage_power(spec, models, vdd)
+    return result
+
+
+def render_liberty(cells: Sequence[CellCharacterization],
+                   library_name: str = "repro_m3d") -> str:
+    """Render characterisations as a .lib-flavoured text block."""
+    if not cells:
+        raise CellLibraryError("nothing to render")
+    lines = [f"library ({library_name}) {{",
+             "  time_unit : 1ps;",
+             "  capacitive_load_unit (1, ff);",
+             "  leakage_power_unit : 1nW;"]
+    for cell in cells:
+        lines.append(f"  cell ({cell.cell_name}__{cell.variant_label}) {{")
+        lines.append(f"    cell_leakage_power : "
+                     f"{cell.leakage_power * 1e9:.4f};")
+        for name, cap in cell.input_caps.items():
+            lines.append(f"    pin ({name}) {{ direction : input; "
+                         f"capacitance : {cap * 1e15:.4f}; }}")
+        lines.append("    pin (y) { direction : output;")
+        for name, timing in cell.pins.items():
+            table = timing.delay
+            lines.append(f"      timing () {{ related_pin : \"{name}\";")
+            index1 = ", ".join(f"{s * 1e12:.1f}" for s in table.slews)
+            index2 = ", ".join(f"{l * 1e15:.2f}" for l in table.loads)
+            lines.append(f"        index_1 (\"{index1}\");")
+            lines.append(f"        index_2 (\"{index2}\");")
+            for row in table.values:
+                cells_text = ", ".join(f"{v * 1e12:.3f}" for v in row)
+                lines.append(f"        values (\"{cells_text}\");")
+            lines.append("      }")
+        lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

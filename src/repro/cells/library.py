@@ -1,0 +1,181 @@
+"""The paper's 14 standard cells (Section IV).
+
+AND2X1, AND3X1, AOI2X1, INV1X1, MUX2X1, NAND2X1, NAND3X1, NOR2X1,
+NOR3X1, OAI2X1, OR2X1, OR3X1, XNOR2X1, XOR2X1 — all static complementary
+CMOS, X1 drive.  AOI2X1/OAI2X1 are the three-input AOI21/OAI21 forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CellLibraryError
+from repro.cells.spec import CellSpec, GateStage, inp, parallel, series
+
+
+def _inv(name: str = "INV1X1") -> CellSpec:
+    return CellSpec(
+        name=name,
+        inputs=("a",),
+        output="y",
+        stages=(GateStage("y", inp("a")),),
+        description="inverter",
+    )
+
+
+def _nand(n: int, name: str) -> CellSpec:
+    inputs = tuple("abc"[:n])
+    return CellSpec(
+        name=name,
+        inputs=inputs,
+        output="y",
+        stages=(GateStage("y", series(*(inp(i) for i in inputs))),),
+        description=f"{n}-input NAND",
+    )
+
+
+def _nor(n: int, name: str) -> CellSpec:
+    inputs = tuple("abc"[:n])
+    return CellSpec(
+        name=name,
+        inputs=inputs,
+        output="y",
+        stages=(GateStage("y", parallel(*(inp(i) for i in inputs))),),
+        description=f"{n}-input NOR",
+    )
+
+
+def _and(n: int, name: str) -> CellSpec:
+    inputs = tuple("abc"[:n])
+    return CellSpec(
+        name=name,
+        inputs=inputs,
+        output="y",
+        stages=(
+            GateStage("yb", series(*(inp(i) for i in inputs))),
+            GateStage("y", inp("yb")),
+        ),
+        description=f"{n}-input AND (NAND + INV)",
+    )
+
+
+def _or(n: int, name: str) -> CellSpec:
+    inputs = tuple("abc"[:n])
+    return CellSpec(
+        name=name,
+        inputs=inputs,
+        output="y",
+        stages=(
+            GateStage("yb", parallel(*(inp(i) for i in inputs))),
+            GateStage("y", inp("yb")),
+        ),
+        description=f"{n}-input OR (NOR + INV)",
+    )
+
+
+def _aoi21() -> CellSpec:
+    return CellSpec(
+        name="AOI2X1",
+        inputs=("a", "b", "c"),
+        output="y",
+        stages=(GateStage("y", parallel(series(inp("a"), inp("b")),
+                                        inp("c"))),),
+        description="AND-OR-invert: y = !(a b + c)",
+    )
+
+
+def _oai21() -> CellSpec:
+    return CellSpec(
+        name="OAI2X1",
+        inputs=("a", "b", "c"),
+        output="y",
+        stages=(GateStage("y", series(parallel(inp("a"), inp("b")),
+                                      inp("c"))),),
+        description="OR-AND-invert: y = !((a + b) c)",
+    )
+
+
+def _xor2() -> CellSpec:
+    return CellSpec(
+        name="XOR2X1",
+        inputs=("a", "b"),
+        output="y",
+        stages=(
+            GateStage("an", inp("a")),
+            GateStage("bn", inp("b")),
+            GateStage("y", parallel(series(inp("a"), inp("b")),
+                                    series(inp("an"), inp("bn")))),
+        ),
+        description="XOR: y = !(a b + !a !b)",
+    )
+
+
+def _xnor2() -> CellSpec:
+    return CellSpec(
+        name="XNOR2X1",
+        inputs=("a", "b"),
+        output="y",
+        stages=(
+            GateStage("an", inp("a")),
+            GateStage("bn", inp("b")),
+            GateStage("y", parallel(series(inp("a"), inp("bn")),
+                                    series(inp("an"), inp("b")))),
+        ),
+        description="XNOR: y = !(a !b + !a b)",
+    )
+
+
+def _mux2() -> CellSpec:
+    # y = s ? a : b, built as INV(s) + AOI + INV (static CMOS).
+    return CellSpec(
+        name="MUX2X1",
+        inputs=("a", "b", "s"),
+        output="y",
+        stages=(
+            GateStage("sn", inp("s")),
+            GateStage("yb", parallel(series(inp("a"), inp("s")),
+                                     series(inp("b"), inp("sn")))),
+            GateStage("y", inp("yb")),
+        ),
+        description="2:1 mux: y = s a + !s b",
+    )
+
+
+def _build_library() -> Dict[str, CellSpec]:
+    cells = [
+        _and(2, "AND2X1"),
+        _and(3, "AND3X1"),
+        _aoi21(),
+        _inv(),
+        _mux2(),
+        _nand(2, "NAND2X1"),
+        _nand(3, "NAND3X1"),
+        _nor(2, "NOR2X1"),
+        _nor(3, "NOR3X1"),
+        _oai21(),
+        _or(2, "OR2X1"),
+        _or(3, "OR3X1"),
+        _xnor2(),
+        _xor2(),
+    ]
+    return {cell.name: cell for cell in cells}
+
+
+_LIBRARY = _build_library()
+
+#: The 14 cell names, in the paper's (alphabetical) order.
+CELL_NAMES = tuple(sorted(_LIBRARY))
+
+
+def get_cell(name: str) -> CellSpec:
+    """Lookup one cell by name."""
+    try:
+        return _LIBRARY[name]
+    except KeyError:
+        raise CellLibraryError(
+            f"unknown cell {name!r}; known: {', '.join(CELL_NAMES)}") from None
+
+
+def all_cells() -> List[CellSpec]:
+    """All 14 cells in library order."""
+    return [_LIBRARY[name] for name in CELL_NAMES]

@@ -1,0 +1,221 @@
+"""Cell netlist construction with the paper's parasitic assumptions.
+
+Topology of one stage in the 2-layer M3D arrangement (Section IV):
+
+* PMOS pull-up network on the bottom tier between the VDD rail and the
+  stage's bottom output node;
+* NMOS pull-down network on the top tier between the stage's top output
+  node and the ground rail;
+* an internal-contact MIV (7 Ohm) joins the two output nodes;
+* supply rails reach the ideal sources through 5 Ohm;
+* every signal reaches bottom-tier PMOS gates through an MIV (7 Ohm);
+  top-tier NMOS gates are reached through a 3 Ohm M1 wire in the 2-D
+  baseline, or directly when the MIV itself is the gate (MIV-transistor
+  variants) — the layout-level benefit of merging MIV and gate;
+* the cell output drives a 1 fF load through a 3 Ohm interconnect.
+
+Internal metal coupling/fringing capacitances are ignored, as the paper
+does ("to limit the complexity of the design").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import CellLibraryError
+from repro.cells.spec import CellSpec, Network
+from repro.cells.variants import ModelSet
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.mosfet import Mosfet
+from repro.spice.elements.resistor import Resistor
+from repro.spice.elements.vsource import dc_source
+from repro.spice.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class Parasitics:
+    """The paper's fixed parasitic values (Section IV).
+
+    ``c_keepout_wire`` is the extra M1 wiring capacitance the 2-D
+    baseline pays on every stage output: its gate-contact MIV keep-out
+    zone forces the output route to detour around it (the "wire length"
+    overhead the MIV-transistor eliminates).  MIV-transistor variants do
+    not carry this capacitance.
+    """
+
+    r_miv: float = 7.0
+    r_interconnect: float = 3.0
+    r_rail: float = 5.0
+    c_load: float = 1e-15
+    c_keepout_wire: float = 1.5e-17
+    vdd: float = 1.0
+
+
+@dataclass
+class CellNetlist:
+    """A built cell circuit plus the handles measurements need."""
+
+    circuit: Circuit
+    spec: CellSpec
+    model_set: ModelSet
+    parasitics: Parasitics
+    input_sources: Dict[str, str]   # input name -> source element name
+    output_node: str
+    vdd_source: str = "VDD"
+    transistor_names: List[str] = field(default_factory=list)
+
+    @property
+    def vdd(self) -> float:
+        """Supply voltage [V]."""
+        return self.parasitics.vdd
+
+
+class _Builder:
+    """Stateful helper that emits one cell's elements."""
+
+    def __init__(self, spec: CellSpec, models: ModelSet,
+                 parasitics: Parasitics):
+        self.spec = spec
+        self.models = models
+        self.par = parasitics
+        self.circuit = Circuit(f"{spec.name}:{models.variant.value}")
+        self._counter = 0
+        self._gate_nodes: Dict[str, Dict[str, str]] = {}
+        self.transistors: List[str] = []
+
+    # ------------------------------------------------------------------
+    # identifiers
+    # ------------------------------------------------------------------
+    def _unique(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # ------------------------------------------------------------------
+    # rails, sources, gate routing
+    # ------------------------------------------------------------------
+    def build_rails(self) -> None:
+        """Supply/ground rails behind their 5 Ohm distribution R."""
+        self.circuit.add(dc_source("VDD", "vdd", "0", self.par.vdd))
+        self.circuit.add(Resistor("Rvdd", "vdd", "vddr", self.par.r_rail))
+        self.circuit.add(Resistor("Rgnd", "gndr", "0", self.par.r_rail))
+
+    def signal_node(self, signal: str) -> str:
+        """The top-tier node carrying a signal (input or stage output)."""
+        if signal in self.spec.inputs:
+            return f"in_{signal}"
+        return f"{signal}_t"
+
+    def gate_nodes(self, signal: str) -> Dict[str, str]:
+        """(Create and) return the n/p gate nodes for a signal.
+
+        The p-gate always hangs off the signal through the 7 Ohm MIV.
+        The n-gate is the signal node itself for MIV-transistor variants
+        (the MIV *is* the gate) or a 3 Ohm M1 hop for the 2-D baseline.
+        """
+        if signal in self._gate_nodes:
+            return self._gate_nodes[signal]
+        src = self.signal_node(signal)
+        p_gate = f"{signal}_gp"
+        self.circuit.add(Resistor(f"Rmiv_{signal}", src, p_gate,
+                                  self.par.r_miv))
+        if self.models.variant.uses_miv_gate:
+            n_gate = src
+        else:
+            n_gate = f"{signal}_gn"
+            self.circuit.add(Resistor(f"Rint_{signal}", src, n_gate,
+                                      self.par.r_interconnect))
+        nodes = {"n": n_gate, "p": p_gate}
+        self._gate_nodes[signal] = nodes
+        return nodes
+
+    def add_input_source(self, name: str) -> str:
+        """DC placeholder source for an input (stimulus replaces it)."""
+        source_name = f"V{name}"
+        self.circuit.add(dc_source(source_name, f"in_{name}", "0", 0.0))
+        return source_name
+
+    # ------------------------------------------------------------------
+    # transistor networks
+    # ------------------------------------------------------------------
+    def emit_network(self, network: Network, hi: str, lo: str,
+                     polarity: str, stage: str) -> None:
+        """Instantiate a series/parallel network between ``hi`` and ``lo``.
+
+        ``polarity`` is "n" (PDN, conduction at input high) or "p" (PUN).
+        For both, ``hi`` is the output side and ``lo`` the rail side.
+        """
+        if network.kind == "input":
+            gates = self.gate_nodes(network.input_name)
+            name = f"M{stage}_{polarity}{self._unique('')}"
+            model = (self.models.nmos if polarity == "n"
+                     else self.models.pmos)
+            # NMOS: drain at the output side, source toward ground.
+            # PMOS: source toward VDD (the rail side), drain at output.
+            if polarity == "n":
+                fet = Mosfet(name, hi, gates["n"], lo, model)
+            else:
+                fet = Mosfet(name, hi, gates["p"], lo, model)
+            self.circuit.add(fet)
+            self.transistors.append(name)
+            return
+        if network.kind == "series":
+            nodes = [hi]
+            for _ in network.children[:-1]:
+                nodes.append(f"{stage}_{polarity}{self._unique('x')}")
+            nodes.append(lo)
+            for child, (n_hi, n_lo) in zip(network.children,
+                                           zip(nodes, nodes[1:])):
+                self.emit_network(child, n_hi, n_lo, polarity, stage)
+            return
+        for child in network.children:  # parallel
+            self.emit_network(child, hi, lo, polarity, stage)
+
+    def emit_stage(self, stage_output: str, pdn: Network) -> None:
+        """One complementary stage with the inter-tier output MIV."""
+        top = f"{stage_output}_t"
+        bottom = f"{stage_output}_b"
+        self.emit_network(pdn, top, "gndr", "n", stage_output)
+        self.emit_network(pdn.dual(), bottom, "vddr", "p", stage_output)
+        self.circuit.add(Resistor(f"Rmivout_{stage_output}", top, bottom,
+                                  self.par.r_miv))
+        # The 2-D baseline's output route detours around the gate-MIV
+        # keep-out zone: extra wire capacitance on the stage output.
+        if (not self.models.variant.uses_miv_gate
+                and self.par.c_keepout_wire > 0):
+            self.circuit.add(Capacitor(f"Ckoz_{stage_output}", top, "0",
+                                       self.par.c_keepout_wire))
+
+
+def build_cell_circuit(spec: CellSpec, models: ModelSet,
+                       parasitics: Parasitics = Parasitics()) -> CellNetlist:
+    """Build the full simulatable circuit of one cell implementation."""
+    builder = _Builder(spec, models, parasitics)
+    builder.build_rails()
+
+    input_sources = {name: builder.add_input_source(name)
+                     for name in spec.inputs}
+    for stage in spec.stages:
+        builder.emit_stage(stage.output, stage.pdn)
+
+    # Output load through the output interconnect.
+    out_top = f"{spec.output}_t"
+    builder.circuit.add(Resistor("Rout", out_top, "out",
+                                 parasitics.r_interconnect))
+    builder.circuit.add(Capacitor("CL", "out", "0", parasitics.c_load))
+
+    netlist = CellNetlist(
+        circuit=builder.circuit,
+        spec=spec,
+        model_set=models,
+        parasitics=parasitics,
+        input_sources=input_sources,
+        output_node="out",
+        transistor_names=builder.transistors,
+    )
+    expected = spec.transistor_count
+    if len(netlist.transistor_names) != expected:
+        raise CellLibraryError(
+            f"{spec.name}: emitted {len(netlist.transistor_names)} "
+            f"transistors, expected {expected}")
+    return netlist

@@ -1,0 +1,96 @@
+"""Implementation variants and their extracted model sets.
+
+The paper compares four implementations of each cell, differing only in
+the *top-layer n-type* device (the bottom-layer p-type device is always
+the conventional 2-D FDSOI transistor):
+
+* ``TWO_D``   — two-layer 2-D FDSOI baseline ("2D" in Figure 5),
+* ``MIV_1CH`` — 1-channel MIV-transistor n-type,
+* ``MIV_2CH`` — 2-channel MIV-transistor n-type,
+* ``MIV_4CH`` — 4-channel MIV-transistor n-type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.compact.model import BsimSoi4Lite
+from repro.extraction.flow import ExtractionFlow
+from repro.extraction.targets import cached_targets
+from repro.geometry.process import ProcessParameters
+from repro.geometry.transistor_layout import ChannelCount
+from repro.tcad.device import Polarity
+
+
+class DeviceVariant(enum.Enum):
+    """Cell implementation variant (Figure 5 legend)."""
+
+    TWO_D = "2D"
+    MIV_1CH = "1-ch"
+    MIV_2CH = "2-ch"
+    MIV_4CH = "4-ch"
+
+    @property
+    def n_channel_count(self) -> ChannelCount:
+        """The top-layer n-type device used by this variant."""
+        return {
+            DeviceVariant.TWO_D: ChannelCount.TRADITIONAL,
+            DeviceVariant.MIV_1CH: ChannelCount.ONE,
+            DeviceVariant.MIV_2CH: ChannelCount.TWO,
+            DeviceVariant.MIV_4CH: ChannelCount.FOUR,
+        }[self]
+
+    @property
+    def p_channel_count(self) -> ChannelCount:
+        """The bottom-layer p-type device (always traditional 2-D)."""
+        return ChannelCount.TRADITIONAL
+
+    @property
+    def uses_miv_gate(self) -> bool:
+        """True when the n-type gate is the MIV itself."""
+        return self is not DeviceVariant.TWO_D
+
+
+@dataclass(frozen=True)
+class ModelSet:
+    """The (nmos, pmos) compact models a cell variant instantiates."""
+
+    variant: DeviceVariant
+    nmos: BsimSoi4Lite
+    pmos: BsimSoi4Lite
+
+    def __post_init__(self) -> None:
+        if self.nmos.polarity is not Polarity.NMOS:
+            raise ValueError("nmos model has wrong polarity")
+        if self.pmos.polarity is not Polarity.PMOS:
+            raise ValueError("pmos model has wrong polarity")
+
+
+_MODEL_CACHE: Dict[str, ModelSet] = {}
+
+
+def extracted_model_set(variant: DeviceVariant,
+                        process: Optional[ProcessParameters] = None,
+                        ) -> ModelSet:
+    """Run (or reuse) the extraction flow and return the variant's models.
+
+    The n-type model is extracted from the variant's TCAD device; the
+    p-type model is always the traditional 2-D FDSOI PMOS.  Results are
+    cached — extraction costs a couple of seconds per device.
+    """
+    key = (f"{variant.value}:"
+           f"{id(process) if process is not None else 'default'}")
+    if key not in _MODEL_CACHE:
+        flow = ExtractionFlow()
+        n_targets = cached_targets(variant.n_channel_count, Polarity.NMOS,
+                                   process)
+        p_targets = cached_targets(variant.p_channel_count, Polarity.PMOS,
+                                   process)
+        _MODEL_CACHE[key] = ModelSet(
+            variant=variant,
+            nmos=flow.run(n_targets).model,
+            pmos=flow.run(p_targets).model,
+        )
+    return _MODEL_CACHE[key]

@@ -1,0 +1,34 @@
+"""MOBMOD=4-style effective mobility (U0/UA/UB/UD/UCS).
+
+    mu_eff = U0 / (1 + UA * Eeff + UB * Eeff^2
+                     + UD * (vt / (Vgsteff + 2 vt))^UCS)
+
+with the effective vertical field estimated from the overdrive,
+``Eeff = (Vgsteff + 2 Vth_ref) / (6 TOX)`` — the standard BSIM surrogate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Reference voltage entering the Eeff surrogate [V].
+EEFF_VTH_REF = 0.4
+
+
+def effective_field(vgsteff, t_ox: float) -> np.ndarray:
+    """Vertical effective field surrogate [V/m]."""
+    vgsteff = np.asarray(vgsteff, dtype=float)
+    return (vgsteff + 2.0 * EEFF_VTH_REF) / (6.0 * t_ox)
+
+
+def effective_mobility(vgsteff, t_ox: float, u0: float, ua: float,
+                       ub: float, ud: float, ucs: float,
+                       vt: float) -> np.ndarray:
+    """Effective mobility [m^2/Vs] (vectorised in vgsteff)."""
+    vgsteff = np.asarray(vgsteff, dtype=float)
+    e_eff = effective_field(vgsteff, t_ox)
+    denom = 1.0 + ua * e_eff + ub * e_eff * e_eff
+    if ud > 0.0:
+        coulomb = (vt / (vgsteff + 2.0 * vt)) ** ucs
+        denom = denom + ud * coulomb
+    return u0 / np.maximum(denom, 1e-6)

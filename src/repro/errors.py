@@ -1,0 +1,62 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConvergenceError(ReproError):
+    """A nonlinear solver failed to converge.
+
+    Carries diagnostic context (iteration count and final residual) so that
+    failures can be triaged without re-running the solver.
+    """
+
+    def __init__(self, message: str, iterations: int = -1,
+                 residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        base = super().__str__()
+        return (f"{base} (iterations={self.iterations}, "
+                f"residual={self.residual:.3e})")
+
+
+class MeshError(ReproError):
+    """Invalid mesh specification (non-monotonic points, empty region...)."""
+
+
+class MaterialError(ReproError):
+    """Unknown material or invalid material parameter."""
+
+
+class NetlistError(ReproError):
+    """Malformed netlist: dangling node, duplicate element, missing ground."""
+
+
+class SingularMatrixError(ReproError):
+    """The MNA system is singular (floating node or short loop)."""
+
+
+class ExtractionError(ReproError):
+    """Parameter extraction failed (bad targets, optimizer failure)."""
+
+
+class LayoutError(ReproError):
+    """Design-rule violation or impossible layout request."""
+
+
+class CellLibraryError(ReproError):
+    """Unknown cell or malformed cell topology."""
+
+
+class SimulationError(ReproError):
+    """A simulation request was invalid (bad sweep, missing analysis)."""

@@ -1,0 +1,34 @@
+"""TCAD-to-SPICE parameter extraction (Figure 3 of the paper).
+
+Three sequential stages — Low Drain, High Drain, Capacitance — each
+fitting the Section III-B parameter group against the corresponding TCAD
+characteristics, with the fitted values handed to the next stage.
+"""
+
+from repro.extraction.targets import DeviceTargets, characterize_device
+from repro.extraction.error import region_error_percent, relative_errors
+from repro.extraction.stages import (
+    ExtractionStage,
+    capacitance_stage,
+    high_drain_stage,
+    low_drain_stage,
+)
+from repro.extraction.optimizer import fit_parameters
+from repro.extraction.flow import ExtractionFlow, ExtractedDevice
+from repro.extraction.results import ExtractionReport, Table3Row
+
+__all__ = [
+    "DeviceTargets",
+    "characterize_device",
+    "region_error_percent",
+    "relative_errors",
+    "ExtractionStage",
+    "low_drain_stage",
+    "high_drain_stage",
+    "capacitance_stage",
+    "fit_parameters",
+    "ExtractionFlow",
+    "ExtractedDevice",
+    "ExtractionReport",
+    "Table3Row",
+]

@@ -1,0 +1,58 @@
+"""Error metrics for extraction fitting and Table III reporting.
+
+Two distinct roles:
+
+* **fit residuals** — what the optimiser minimises.  Current curves mix a
+  log-space term (so the subthreshold decades matter) with a relative
+  term (so the on-current matters);
+* **report error** — the Table III number: mean absolute relative error
+  in percent, with denominators floored at a fraction of the curve
+  maximum so near-zero points cannot blow the metric up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExtractionError
+
+#: Denominator floor as a fraction of the curve maximum.
+REPORT_FLOOR_FRACTION = 0.02
+
+#: Current floor [A] for log-space residuals.
+LOG_FLOOR = 1e-14
+
+
+def relative_errors(simulated, reference,
+                    floor_fraction: float = REPORT_FLOOR_FRACTION) -> np.ndarray:
+    """Pointwise |sim - ref| / max(|ref|, floor) as a fraction."""
+    simulated = np.asarray(simulated, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if simulated.shape != reference.shape:
+        raise ExtractionError("shape mismatch between sim and reference")
+    scale = float(np.max(np.abs(reference)))
+    if scale <= 0:
+        raise ExtractionError("reference curve is identically zero")
+    denom = np.maximum(np.abs(reference), floor_fraction * scale)
+    return np.abs(simulated - reference) / denom
+
+
+def region_error_percent(simulated, reference) -> float:
+    """The Table III regional error: mean relative error in percent."""
+    return float(np.mean(relative_errors(simulated, reference))) * 100.0
+
+
+def log_residuals(simulated, reference) -> np.ndarray:
+    """log10-space residuals with a floor (subthreshold fitting)."""
+    simulated = np.asarray(simulated, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    return (np.log10(np.maximum(simulated, LOG_FLOOR)) -
+            np.log10(np.maximum(reference, LOG_FLOOR)))
+
+
+def mixed_current_residuals(simulated, reference,
+                            log_weight: float = 0.5) -> np.ndarray:
+    """Concatenated log-space and relative residuals for current curves."""
+    rel = relative_errors(simulated, reference)
+    logr = log_residuals(simulated, reference) * log_weight
+    return np.concatenate([rel, logr])

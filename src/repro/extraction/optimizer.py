@@ -1,0 +1,61 @@
+"""Bounded least-squares wrapper used by every extraction stage.
+
+Parameters are normalised to [0, 1] against their spec bounds before the
+scipy trust-region-reflective solve; this keeps the numerical Jacobian
+well scaled even though the raw parameters span fifteen orders of
+magnitude (CDSC ~ 1e-4 F/m^2 vs UB ~ 1e-18 m^2/V^2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.errors import ExtractionError
+from repro.compact.parameters import PARAMETER_SPECS, ParameterSet
+
+ResidualFn = Callable[[Dict[str, float]], np.ndarray]
+
+
+def _bounds_for(names: List[str]) -> Tuple[np.ndarray, np.ndarray]:
+    lower = np.array([PARAMETER_SPECS[n].lower for n in names])
+    upper = np.array([PARAMETER_SPECS[n].upper for n in names])
+    return lower, upper
+
+
+def fit_parameters(base: ParameterSet, names: List[str],
+                   residual_fn: ResidualFn,
+                   max_evaluations: int = 2000) -> Tuple[ParameterSet, float]:
+    """Fit ``names`` starting from ``base`` to minimise ``residual_fn``.
+
+    Returns the updated parameter set and the final residual RMS.
+    """
+    if not names:
+        raise ExtractionError("no parameters to fit")
+    unknown = [n for n in names if n not in PARAMETER_SPECS]
+    if unknown:
+        raise ExtractionError(f"unknown parameters: {unknown}")
+
+    lower, upper = _bounds_for(names)
+    span = upper - lower
+    x0 = (np.array([base[n] for n in names]) - lower) / span
+    x0 = np.clip(x0, 0.0, 1.0)
+
+    def wrapped(x: np.ndarray) -> np.ndarray:
+        values = dict(zip(names, lower + np.clip(x, 0.0, 1.0) * span))
+        residuals = residual_fn(values)
+        if not np.all(np.isfinite(residuals)):
+            # Penalise non-finite model output instead of crashing TRF.
+            residuals = np.nan_to_num(residuals, nan=1e3,
+                                      posinf=1e3, neginf=-1e3)
+        return residuals
+
+    result = least_squares(
+        wrapped, x0, bounds=(np.zeros_like(x0), np.ones_like(x0)),
+        max_nfev=max_evaluations, xtol=1e-10, ftol=1e-10, gtol=1e-10,
+        diff_step=1e-4)
+    fitted = dict(zip(names, lower + np.clip(result.x, 0.0, 1.0) * span))
+    rms = float(np.sqrt(np.mean(result.fun ** 2))) if result.fun.size else 0.0
+    return base.updated(fitted), rms

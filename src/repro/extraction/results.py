@@ -1,0 +1,86 @@
+"""Table III assembly: extraction errors across devices and regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import ExtractionError
+from repro.extraction.flow import ExtractedDevice
+from repro.geometry.transistor_layout import ChannelCount
+from repro.tcad.device import Polarity
+
+#: Column order of Table III.
+TABLE3_DEVICE_ORDER = (ChannelCount.FOUR, ChannelCount.TWO,
+                       ChannelCount.ONE, ChannelCount.TRADITIONAL)
+TABLE3_REGIONS = ("IDVG", "IDVD", "CV")
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One region row of Table III: error percent per (device, polarity)."""
+
+    region: str
+    errors: Dict[str, float]  # key: "<variant>:<polarity>"
+
+    def cell(self, variant: ChannelCount, polarity: Polarity) -> float:
+        """Lookup one cell of the row."""
+        key = f"{variant.name}:{polarity.value}"
+        if key not in self.errors:
+            raise ExtractionError(f"missing Table III cell {key}")
+        return self.errors[key]
+
+
+class ExtractionReport:
+    """Aggregates :class:`ExtractedDevice` results into Table III."""
+
+    def __init__(self, devices: Iterable[ExtractedDevice]):
+        self.devices: List[ExtractedDevice] = list(devices)
+        if not self.devices:
+            raise ExtractionError("report needs at least one device")
+        self._index: Dict[str, ExtractedDevice] = {}
+        for dev in self.devices:
+            key = f"{dev.targets.variant.name}:{dev.targets.polarity.value}"
+            if key in self._index:
+                raise ExtractionError(f"duplicate device {key}")
+            self._index[key] = dev
+
+    def device(self, variant: ChannelCount,
+               polarity: Polarity) -> ExtractedDevice:
+        """Lookup one extracted device."""
+        key = f"{variant.name}:{polarity.value}"
+        if key not in self._index:
+            raise ExtractionError(f"no extracted device {key}")
+        return self._index[key]
+
+    def rows(self) -> List[Table3Row]:
+        """Build the three region rows from the available devices."""
+        rows = []
+        for region in TABLE3_REGIONS:
+            errors = {key: dev.errors[region]
+                      for key, dev in self._index.items()}
+            rows.append(Table3Row(region, errors))
+        return rows
+
+    def max_error(self) -> float:
+        """Worst cell in the table (paper: < 10 %)."""
+        return max(dev.max_error() for dev in self.devices)
+
+    def render(self) -> str:
+        """Text rendering in the Table III arrangement."""
+        present = [v for v in TABLE3_DEVICE_ORDER
+                   if any(k.startswith(v.name + ":") for k in self._index)]
+        header = ["Region"]
+        for variant in present:
+            for pol in (Polarity.NMOS, Polarity.PMOS):
+                header.append(f"{variant.name.lower()[:4]}-{pol.value}")
+        lines = ["\t".join(header)]
+        for row in self.rows():
+            cells = [row.region]
+            for variant in present:
+                for pol in (Polarity.NMOS, Polarity.PMOS):
+                    key = f"{variant.name}:{pol.value}"
+                    value = row.errors.get(key)
+                    cells.append("-" if value is None else f"{value:.1f}%")
+            lines.append("\t".join(cells))
+        return "\n".join(lines)

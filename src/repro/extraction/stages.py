@@ -1,0 +1,123 @@
+"""The three extraction stages of Figure 3.
+
+Each stage declares the Section III-B parameter list and builds the
+residual vector from the relevant target curves:
+
+1. **Low Drain** — Id-Vg at V_DS = 0.05 V; fits CDSC, U0, UA, UB, UD,
+   UCS, DVT0, DVT1 (mobility + short-channel nominals).
+2. **High Drain** — Id-Vg at V_DS = 1.0 V plus the Id-Vd family at
+   V_GS = 0.4..1.0 V; fits CDSC, CDSCD, U0, UA, VTH0, PVAG, DVT0, DVT1,
+   ETAB, VSAT.
+3. **Capacitance** — C-V; fits CKAPPA, DELVT, CF, CGSO, CGDO, MOIN,
+   CGSL, CGDL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.compact.model import BsimSoi4Lite
+from repro.compact.parameters import (
+    EXTRACTION_STAGE_PARAMETERS,
+    STAGE_CAPACITANCE,
+    STAGE_HIGH_DRAIN,
+    STAGE_LOW_DRAIN,
+)
+from repro.extraction.error import mixed_current_residuals, relative_errors
+from repro.extraction.targets import DeviceTargets
+
+
+@dataclass(frozen=True)
+class ExtractionStage:
+    """One stage: a name, its fit parameters, and a residual builder."""
+
+    name: str
+    parameter_names: List[str]
+    residual_builder: Callable[[BsimSoi4Lite, DeviceTargets],
+                               Callable[[Dict[str, float]], np.ndarray]]
+
+    def residual_fn(self, model: BsimSoi4Lite,
+                    targets: DeviceTargets) -> Callable[[Dict[str, float]],
+                                                        np.ndarray]:
+        """Bind the stage residuals to a model template and targets."""
+        return self.residual_builder(model, targets)
+
+
+def _low_drain_builder(model: BsimSoi4Lite, targets: DeviceTargets):
+    curve = targets.idvg_lin
+
+    def residuals(values: Dict[str, float]) -> np.ndarray:
+        trial = model.with_params(values)
+        sim = trial.ids_magnitude(curve.v, curve.fixed_bias)
+        return mixed_current_residuals(sim, curve.i, log_weight=0.6)
+
+    return residuals
+
+
+def _high_drain_builder(model: BsimSoi4Lite, targets: DeviceTargets):
+    sat = targets.idvg_sat
+    lin = targets.idvg_lin
+    family = targets.idvd
+    # Stage 1 "passes U0, UA ... for fine-tuning" (Section III-B): tether
+    # the shared mobility parameters to their incoming values so this
+    # stage refines rather than refits them.
+    incoming = {name: model.p(name) for name in ("U0", "UA")}
+
+    def residuals(values: Dict[str, float]) -> np.ndarray:
+        trial = model.with_params(values)
+        parts = [mixed_current_residuals(
+            trial.ids_magnitude(sat.v, sat.fixed_bias), sat.i,
+            log_weight=0.6)]
+        # Keep a light anchor on the low-drain curve so the linear region
+        # fitted in stage 1 survives the saturation fit.
+        parts.append(0.5 * relative_errors(
+            trial.ids_magnitude(lin.v, lin.fixed_bias), lin.i))
+        for curve in family.curves:
+            sim = trial.ids_magnitude(curve.fixed_bias, curve.v)
+            parts.append(relative_errors(sim, curve.i))
+        tether = [2.0 * np.log(max(values.get(n, v), 1e-12) / max(v, 1e-12))
+                  for n, v in incoming.items() if v > 0]
+        parts.append(np.asarray(tether))
+        return np.concatenate(parts)
+
+    return residuals
+
+
+def _capacitance_builder(model: BsimSoi4Lite, targets: DeviceTargets):
+    curve = targets.cv
+
+    def residuals(values: Dict[str, float]) -> np.ndarray:
+        trial = model.with_params(values)
+        sim = trial.cgg(curve.v)
+        return relative_errors(sim, curve.c)
+
+    return residuals
+
+
+def low_drain_stage() -> ExtractionStage:
+    """Stage 1 of Figure 3."""
+    return ExtractionStage(STAGE_LOW_DRAIN,
+                           EXTRACTION_STAGE_PARAMETERS[STAGE_LOW_DRAIN],
+                           _low_drain_builder)
+
+
+def high_drain_stage() -> ExtractionStage:
+    """Stage 2 of Figure 3."""
+    return ExtractionStage(STAGE_HIGH_DRAIN,
+                           EXTRACTION_STAGE_PARAMETERS[STAGE_HIGH_DRAIN],
+                           _high_drain_builder)
+
+
+def capacitance_stage() -> ExtractionStage:
+    """Stage 3 of Figure 3."""
+    return ExtractionStage(STAGE_CAPACITANCE,
+                           EXTRACTION_STAGE_PARAMETERS[STAGE_CAPACITANCE],
+                           _capacitance_builder)
+
+
+def default_stage_sequence() -> List[ExtractionStage]:
+    """The paper's stage order."""
+    return [low_drain_stage(), high_drain_stage(), capacitance_stage()]

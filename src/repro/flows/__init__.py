@@ -1,0 +1,5 @@
+"""End-to-end pipelines."""
+
+from repro.flows.full_flow import FullFlowResult, run_full_flow
+
+__all__ = ["FullFlowResult", "run_full_flow"]

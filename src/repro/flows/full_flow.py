@@ -1,0 +1,88 @@
+"""The complete paper pipeline in one call.
+
+TCAD characterisation of all eight devices -> staged extraction ->
+standard-cell simulation -> PPA comparison + area report.  This is what
+the benchmark harness and the end-to-end example drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cells.library import CELL_NAMES
+from repro.cells.variants import DeviceVariant
+from repro.extraction.flow import ExtractedDevice, ExtractionFlow
+from repro.extraction.results import ExtractionReport
+from repro.extraction.targets import cached_targets
+from repro.geometry.transistor_layout import ChannelCount
+from repro.layout.report import AreaReport, build_area_report
+from repro.ppa.comparison import PpaComparison
+from repro.ppa.runner import PpaRunner
+from repro.tcad.device import Polarity
+
+
+@dataclass
+class FullFlowResult:
+    """Everything the paper's evaluation section reports.
+
+    Attributes
+    ----------
+    extraction:
+        Table III (fit errors per device and region).
+    ppa:
+        Figure 5(a)/(b)/(c) data across cells and variants.
+    areas:
+        The standalone area report (substrate-area discussion).
+    """
+
+    extraction: ExtractionReport
+    ppa: PpaComparison
+    areas: AreaReport
+
+    def headline(self) -> dict:
+        """The abstract's headline claims, measured."""
+        return {
+            "max_extraction_error_percent": self.extraction.max_error(),
+            "area_reduction_2ch_percent":
+                -self.ppa.average_change_percent(DeviceVariant.MIV_2CH,
+                                                 "area"),
+            "pdp_reduction_2ch_percent":
+                -self.ppa.average_change_percent(DeviceVariant.MIV_2CH,
+                                                 "pdp"),
+            "delay_change_1ch_percent":
+                self.ppa.average_change_percent(DeviceVariant.MIV_1CH,
+                                                "delay"),
+        }
+
+
+def run_extractions(variants: Optional[List[ChannelCount]] = None,
+                    ) -> ExtractionReport:
+    """Extract compact models for every (variant, polarity) pair."""
+    variants = variants or list(ChannelCount)
+    flow = ExtractionFlow()
+    devices: List[ExtractedDevice] = []
+    for variant in variants:
+        for polarity in (Polarity.NMOS, Polarity.PMOS):
+            targets = cached_targets(variant, polarity)
+            devices.append(flow.run(targets))
+    return ExtractionReport(devices)
+
+
+def run_full_flow(cell_names: Optional[List[str]] = None,
+                  variants: Optional[List[DeviceVariant]] = None,
+                  ) -> FullFlowResult:
+    """Run the whole pipeline.
+
+    ``cell_names`` defaults to all 14 cells (several minutes of
+    simulation); pass a subset for a faster run.
+    """
+    cells = cell_names or list(CELL_NAMES)
+    extraction = run_extractions()
+    runner = PpaRunner()
+    results = runner.sweep(cell_names=cells, variants=variants)
+    return FullFlowResult(
+        extraction=extraction,
+        ppa=PpaComparison.from_results(results),
+        areas=build_area_report(),
+    )

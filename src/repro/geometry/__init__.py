@@ -1,0 +1,31 @@
+"""Process and device geometry for the FDSOI M3D process.
+
+This package encodes Table I (process and design parameters), the layer
+stack of Figure 1 and the device top-view layouts of Figure 2.
+"""
+
+from repro.geometry.primitives import BoundingBox, Rect
+from repro.geometry.process import ProcessParameters, DEFAULT_PROCESS
+from repro.geometry.layers import Layer, LayerRole, LayerStack, build_m3d_stack
+from repro.geometry.miv import MivGeometry, MivRole
+from repro.geometry.transistor_layout import (
+    ChannelCount,
+    DeviceLayout,
+    layout_for_variant,
+)
+
+__all__ = [
+    "Rect",
+    "BoundingBox",
+    "ProcessParameters",
+    "DEFAULT_PROCESS",
+    "Layer",
+    "LayerRole",
+    "LayerStack",
+    "build_m3d_stack",
+    "MivGeometry",
+    "MivRole",
+    "ChannelCount",
+    "DeviceLayout",
+    "layout_for_variant",
+]

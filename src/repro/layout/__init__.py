@@ -1,0 +1,24 @@
+"""Design-rule-driven layout area model (Figure 5(c) and Section IV-3).
+
+Cell area is computed as max(top width, bottom width) x max(top height,
+bottom height) — the paper's "maximum layout dimensions on both top-layer
+and bottom-layer so that the standard cell placement treats both n-type
+and p-type device layers together".  A second, unconstrained metric sums
+the per-layer device footprints (the paper's "total substrate area"
+discussion, up to 31% reduction with independent per-layer placement).
+"""
+
+from repro.layout.rules import DesignRules
+from repro.layout.device_footprint import RowGeometry, row_geometry
+from repro.layout.cell_layout import CellAreaModel, CellLayoutResult
+from repro.layout.report import AreaReport, build_area_report
+
+__all__ = [
+    "DesignRules",
+    "RowGeometry",
+    "row_geometry",
+    "CellAreaModel",
+    "CellLayoutResult",
+    "AreaReport",
+    "build_area_report",
+]

@@ -1,0 +1,98 @@
+"""Per-variant row geometry: heights and transistor pitches.
+
+The top-layer (n-type) row height is where the MIV-transistor proposal
+pays off — each variant's height follows directly from its Figure-2
+geometry:
+
+* **2D baseline** — full 192 nm active plus the external-contact MIV
+  strip *with keep-out* (75 nm) plus the rail track;
+* **1-channel** — MIV merged with the gate (27 nm, no keep-out) but the
+  S/D contacts still need one M1 spacing to the MIV;
+* **2-channel** — the MIV nests between the two 96 nm fingers inside the
+  gate column; the stacked fingers plus a shared contact allowance fit
+  under the bottom row's height;
+* **4-channel** — two 48 nm channel stacks around the MIV plus the extra
+  S/D routing track; by far the shortest row, but the MIV embedded in
+  the gate line widens every gate column (the MIV outer side, 27 nm,
+  exceeds the 24 nm gate length).
+
+The bottom (p-type) row is identical for all variants: full active,
+rail track and a contact landing (its gate is reached by the MIV from
+above, so no keep-out strip is charged to the bottom layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.variants import DeviceVariant
+from repro.errors import LayoutError
+from repro.layout.rules import DesignRules
+
+
+@dataclass(frozen=True)
+class RowGeometry:
+    """Geometry of one device row in a standard cell (metres)."""
+
+    variant: DeviceVariant
+    top_height: float
+    bottom_height: float
+    top_pitch: float
+    bottom_pitch: float
+    base_width: float
+
+    def __post_init__(self) -> None:
+        for name in ("top_height", "bottom_height", "top_pitch",
+                     "bottom_pitch", "base_width"):
+            if getattr(self, name) <= 0:
+                raise LayoutError(f"{name} must be positive")
+
+    def top_width(self, n_transistors: int) -> float:
+        """Top (n-type) row width for ``n_transistors`` devices [m]."""
+        return self.base_width + n_transistors * self.top_pitch
+
+    def bottom_width(self, n_transistors: int) -> float:
+        """Bottom (p-type) row width [m]."""
+        return self.base_width + n_transistors * self.bottom_pitch
+
+
+def _top_height(variant: DeviceVariant, rules: DesignRules) -> float:
+    process = rules.process
+    rail = rules.m1_track
+    if variant is DeviceVariant.TWO_D:
+        return process.w_src + rules.miv_keepout_side + rail
+    if variant is DeviceVariant.MIV_1CH:
+        return (process.w_src + rules.miv_outer +
+                process.m1_spacing + rail)
+    if variant is DeviceVariant.MIV_2CH:
+        # Two 96 nm fingers with the MIV nested in the gate column
+        # between them; S/D contacts sit away from the MIV, so no extra
+        # spacing strip is charged.
+        return process.w_src + rules.miv_outer + rail
+    if variant is DeviceVariant.MIV_4CH:
+        # Two 48 nm channel stacks + MIV + the extra S/D routing track.
+        return (process.w_src / 2.0 + rules.miv_outer +
+                rules.m1_track + rail)
+    raise LayoutError(f"unknown variant {variant!r}")
+
+
+def row_geometry(variant: DeviceVariant,
+                 rules: DesignRules = DesignRules()) -> RowGeometry:
+    """Build the row geometry of one cell implementation."""
+    process = rules.process
+    bottom_height = process.w_src + rules.m1_track + rules.contact_strip
+
+    top_pitch = rules.transistor_pitch
+    if variant is DeviceVariant.MIV_4CH:
+        # The MIV outer side (27 nm) exceeds the gate length (24 nm):
+        # every gate column stretches by the difference.
+        top_pitch += rules.miv_outer - process.l_gate
+
+    return RowGeometry(
+        variant=variant,
+        top_height=_top_height(variant, rules),
+        bottom_height=bottom_height,
+        top_pitch=top_pitch,
+        bottom_pitch=rules.transistor_pitch,
+        base_width=rules.row_base_width,
+    )

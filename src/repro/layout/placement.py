@@ -1,0 +1,187 @@
+"""Row-based placement: joint vs independent per-layer (Section IV-3).
+
+The paper's cell-area metric ties the two tiers together ("the standard
+cell placement treats both n-type and p-type device layers together") and
+then observes that *separate* placement of the two layers could reduce
+total substrate area by up to 31%, deferring the algorithm to future
+work.  This module implements that future-work experiment:
+
+* **joint placement** — every cell occupies ``max(top, bottom)`` width in
+  rows of ``max(top, bottom)`` height (the Figure 5(c) regime);
+* **per-layer placement** — each layer packs its own footprints into its
+  own rows of its own height, and the substrate area is the sum of the
+  two layer areas.
+
+Packing uses first-fit-decreasing into fixed-width rows, the standard
+row-based standard-cell placement abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cells.library import get_cell
+from repro.cells.spec import CellSpec
+from repro.cells.variants import DeviceVariant
+from repro.errors import LayoutError
+from repro.layout.cell_layout import CellAreaModel
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One placed cell instance."""
+
+    name: str
+    spec: CellSpec
+
+    @classmethod
+    def of(cls, cell_name: str, index: int = 0) -> "Instance":
+        """Instance of a library cell."""
+        return cls(name=f"{cell_name}_{index}", spec=get_cell(cell_name))
+
+
+@dataclass
+class RowPlacement:
+    """Cells assigned to rows of a fixed capacity."""
+
+    row_width: float
+    row_height: float
+    rows: List[List[Tuple[str, float]]] = field(default_factory=list)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows used."""
+        return len(self.rows)
+
+    @property
+    def area(self) -> float:
+        """Occupied die area: full row width x rows x row height [m^2]."""
+        return self.row_width * self.n_rows * self.row_height
+
+    @property
+    def used_width(self) -> float:
+        """Sum of placed cell widths [m]."""
+        return sum(width for row in self.rows for _, width in row)
+
+    @property
+    def utilization(self) -> float:
+        """Used width fraction of the allocated rows."""
+        if not self.rows:
+            return 0.0
+        return self.used_width / (self.row_width * self.n_rows)
+
+
+def pack_rows(widths: Sequence[Tuple[str, float]], row_width: float,
+              row_height: float) -> RowPlacement:
+    """First-fit-decreasing packing of (name, width) into rows."""
+    if row_width <= 0 or row_height <= 0:
+        raise LayoutError("row dimensions must be positive")
+    oversized = [name for name, width in widths if width > row_width]
+    if oversized:
+        raise LayoutError(f"cells wider than a row: {oversized}")
+
+    placement = RowPlacement(row_width=row_width, row_height=row_height)
+    remaining = [0.0]
+    placement.rows.append([])
+    for name, width in sorted(widths, key=lambda item: -item[1]):
+        for index, used in enumerate(remaining):
+            if used + width <= row_width + 1e-15:
+                placement.rows[index].append((name, width))
+                remaining[index] = used + width
+                break
+        else:
+            placement.rows.append([(name, width)])
+            remaining.append(width)
+    return placement
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of placing a netlist in one implementation."""
+
+    variant: DeviceVariant
+    joint: RowPlacement
+    top: RowPlacement
+    bottom: RowPlacement
+
+    @property
+    def joint_area(self) -> float:
+        """Joint-placement die area [m^2] (both layers share rows)."""
+        return self.joint.area
+
+    @property
+    def separate_substrate_area(self) -> float:
+        """Sum of independently placed layer areas [m^2]."""
+        return self.top.area + self.bottom.area
+
+    @property
+    def joint_substrate_area(self) -> float:
+        """Substrate consumed by joint placement: both layers span the
+        same outline, so twice the joint die area."""
+        return 2.0 * self.joint.area
+
+
+class Placer:
+    """Places a bag of cell instances for any implementation variant."""
+
+    def __init__(self, instances: Sequence[Instance], row_width: float,
+                 area_model: Optional[CellAreaModel] = None):
+        if not instances:
+            raise LayoutError("nothing to place")
+        if row_width <= 0:
+            raise LayoutError("row width must be positive")
+        self.instances = list(instances)
+        self.row_width = row_width
+        self.model = area_model or CellAreaModel()
+
+    def _layouts(self, variant: DeviceVariant) -> Dict[str, object]:
+        return {inst.name: self.model.layout(inst.spec, variant)
+                for inst in self.instances}
+
+    def place(self, variant: DeviceVariant) -> PlacementResult:
+        """Joint and per-layer placements of the instance bag."""
+        layouts = self._layouts(variant)
+        joint_widths = [(name, layout.width)
+                        for name, layout in layouts.items()]
+        top_widths = [(name, layout.top_width)
+                      for name, layout in layouts.items()]
+        bottom_widths = [(name, layout.bottom_width)
+                         for name, layout in layouts.items()]
+
+        any_layout = next(iter(layouts.values()))
+        joint = pack_rows(joint_widths, self.row_width, any_layout.height)
+        top = pack_rows(top_widths, self.row_width, any_layout.top_height)
+        bottom = pack_rows(bottom_widths, self.row_width,
+                           any_layout.bottom_height)
+        return PlacementResult(variant=variant, joint=joint, top=top,
+                               bottom=bottom)
+
+    def substrate_savings(self, variant: DeviceVariant) -> Dict[str, float]:
+        """The Section IV-3 numbers for one variant vs the 2-D baseline.
+
+        Returns fractional reductions:
+        ``joint``   — joint-placement die area vs the 2-D joint area,
+        ``separate``— per-layer substrate sum vs the 2-D joint substrate.
+        """
+        baseline = self.place(DeviceVariant.TWO_D)
+        candidate = self.place(variant)
+        return {
+            "joint": 1.0 - candidate.joint_area / baseline.joint_area,
+            "separate": 1.0 - (candidate.separate_substrate_area /
+                               baseline.joint_substrate_area),
+        }
+
+
+def demo_netlist(scale: int = 2) -> List[Instance]:
+    """A representative mix of library cells (scale copies of each)."""
+    if scale < 1:
+        raise LayoutError("scale must be >= 1")
+    mix = ["INV1X1"] * 4 + ["NAND2X1"] * 3 + ["NOR2X1"] * 2 + \
+          ["AND2X1", "OR2X1", "AOI2X1", "OAI2X1", "XOR2X1", "MUX2X1",
+           "NAND3X1", "NOR3X1"]
+    instances = []
+    for copy in range(scale):
+        for index, name in enumerate(mix):
+            instances.append(Instance.of(name, copy * len(mix) + index))
+    return instances

@@ -1,0 +1,76 @@
+"""Area reporting across the cell library (Figure 5(c) data)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cells.library import all_cells
+from repro.cells.spec import CellSpec
+from repro.cells.variants import DeviceVariant
+from repro.errors import LayoutError
+from repro.layout.cell_layout import CellAreaModel, CellLayoutResult
+
+#: Variant order used in Figure 5.
+VARIANT_ORDER = (DeviceVariant.TWO_D, DeviceVariant.MIV_1CH,
+                 DeviceVariant.MIV_2CH, DeviceVariant.MIV_4CH)
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Per-cell areas plus the headline reductions."""
+
+    layouts: Dict[str, Dict[DeviceVariant, CellLayoutResult]]
+
+    def area_um2(self, cell: str, variant: DeviceVariant) -> float:
+        """Cell area in um^2."""
+        return self.layouts[cell][variant].cell_area * 1e12
+
+    def reduction(self, cell: str, variant: DeviceVariant,
+                  metric: str = "cell") -> float:
+        """Fractional reduction vs the 2-D baseline for one cell."""
+        base = self.layouts[cell][DeviceVariant.TWO_D]
+        cand = self.layouts[cell][variant]
+        attr = {"cell": "cell_area", "substrate": "substrate_area",
+                "top": "top_area"}.get(metric)
+        if attr is None:
+            raise LayoutError(f"unknown metric {metric!r}")
+        return 1.0 - getattr(cand, attr) / getattr(base, attr)
+
+    def average_reduction(self, variant: DeviceVariant,
+                          metric: str = "cell") -> float:
+        """Library-average fractional reduction vs 2-D."""
+        values = [self.reduction(c, variant, metric) for c in self.layouts]
+        return sum(values) / len(values)
+
+    def best_reduction(self, variant: DeviceVariant,
+                       metric: str = "cell") -> float:
+        """Best-case fractional reduction vs 2-D."""
+        return max(self.reduction(c, variant, metric)
+                   for c in self.layouts)
+
+    def render(self) -> str:
+        """Text table in the Figure 5(c) arrangement."""
+        header = ["Cell"] + [v.value for v in VARIANT_ORDER]
+        lines = ["\t".join(header + ["(areas in um^2)"])]
+        for cell in sorted(self.layouts):
+            cells = [cell] + [f"{self.area_um2(cell, v):.4f}"
+                              for v in VARIANT_ORDER]
+            lines.append("\t".join(cells))
+        avg = ["avg reduction", "-"]
+        for variant in VARIANT_ORDER[1:]:
+            avg.append(f"-{100 * self.average_reduction(variant):.1f}%")
+        lines.append("\t".join(avg))
+        return "\n".join(lines)
+
+
+def build_area_report(cells: Optional[List[CellSpec]] = None,
+                      model: Optional[CellAreaModel] = None) -> AreaReport:
+    """Compute the full library's areas for all four implementations."""
+    cells = cells if cells is not None else all_cells()
+    model = model or CellAreaModel()
+    layouts: Dict[str, Dict[DeviceVariant, CellLayoutResult]] = {}
+    for spec in cells:
+        layouts[spec.name] = {variant: model.layout(spec, variant)
+                              for variant in DeviceVariant}
+    return AreaReport(layouts)

@@ -1,0 +1,63 @@
+"""Design rules derived from the Table I process values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.geometry.process import DEFAULT_PROCESS, ProcessParameters
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Layout rules used by the cell area model (all in metres).
+
+    Derived quantities follow the paper's assumptions: M1 width/spacing
+    24 nm, via 24 nm, MIV 25 nm with a 1 nm liner, keep-out equal to the
+    M1 spacing for external-contact MIVs.
+    """
+
+    process: ProcessParameters = DEFAULT_PROCESS
+
+    @property
+    def m1_track(self) -> float:
+        """One routing/rail track: wire width plus spacing (48 nm)."""
+        return self.process.m1_width + self.process.m1_spacing
+
+    @property
+    def gate_column(self) -> float:
+        """Gate length plus both spacers (44 nm)."""
+        return self.process.l_gate + 2.0 * self.process.t_spacer
+
+    @property
+    def miv_outer(self) -> float:
+        """MIV including its liner on both sides (27 nm)."""
+        return self.process.t_miv + 2.0 * self.process.t_ox
+
+    @property
+    def miv_keepout_side(self) -> float:
+        """External-contact MIV footprint side including keep-out (75 nm)."""
+        return self.miv_outer + 2.0 * self.process.m1_spacing
+
+    @property
+    def contact_strip(self) -> float:
+        """Room for an S/D or gate contact landing (via size, 24 nm)."""
+        return self.process.via_size
+
+    @property
+    def transistor_pitch(self) -> float:
+        """Per-transistor x pitch in a diffusion-shared row (92 nm)."""
+        return self.gate_column + self.process.l_src
+
+    @property
+    def row_base_width(self) -> float:
+        """Leading S/D region of a diffusion-shared row (48 nm)."""
+        return self.process.l_src
+
+    def row_width(self, n_transistors: int,
+                  pitch: float = 0.0) -> float:
+        """Width of a diffusion-shared row of ``n_transistors`` [m]."""
+        if n_transistors < 1:
+            raise LayoutError("row needs at least one transistor")
+        effective_pitch = pitch if pitch > 0 else self.transistor_pitch
+        return self.row_base_width + n_transistors * effective_pitch

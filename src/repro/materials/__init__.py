@@ -1,0 +1,38 @@
+"""Material models for the FDSOI M3D process.
+
+The paper models all semiconducting regions with thin-film silicon, all
+insulators (gate oxide liner, BOX, ILD, interconnect dielectric) with SiO2,
+spacers with Si3N4, and all conductors (gate, MIV, M1/M2, vias) with copper.
+"""
+
+from repro.materials.material import (
+    Conductor,
+    Insulator,
+    Material,
+    Semiconductor,
+)
+from repro.materials.library import (
+    COPPER,
+    MATERIALS,
+    SILICON,
+    SILICON_DIOXIDE,
+    SILICON_NITRIDE,
+    get_material,
+)
+from repro.materials.doping import DopantType, DopingProfile, uniform_doping
+
+__all__ = [
+    "Material",
+    "Semiconductor",
+    "Insulator",
+    "Conductor",
+    "SILICON",
+    "SILICON_DIOXIDE",
+    "SILICON_NITRIDE",
+    "COPPER",
+    "MATERIALS",
+    "get_material",
+    "DopantType",
+    "DopingProfile",
+    "uniform_doping",
+]

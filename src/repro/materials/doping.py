@@ -1,0 +1,68 @@
+"""Doping profiles.
+
+The paper dopes source/drain regions with Boron (p-type) or Arsenic
+(n-type) at n_src = 1e19 cm^-3 and leaves the channel film undoped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import MaterialError
+from repro.units import per_cm3
+
+
+class DopantType(enum.Enum):
+    """Polarity of a dopant species."""
+
+    DONOR = "donor"        # e.g. Arsenic -> n-type
+    ACCEPTOR = "acceptor"  # e.g. Boron   -> p-type
+
+    @property
+    def sign(self) -> int:
+        """Signed contribution to net doping (donors positive)."""
+        return 1 if self is DopantType.DONOR else -1
+
+
+@dataclass(frozen=True)
+class DopingProfile:
+    """A 1-D doping profile along a spatial coordinate.
+
+    Attributes
+    ----------
+    dopant:
+        Donor (Arsenic) or acceptor (Boron).
+    concentration:
+        A callable mapping position [m] to concentration [m^-3].
+    label:
+        Description used in reports.
+    """
+
+    dopant: DopantType
+    concentration: Callable[[float], float]
+    label: str = "profile"
+
+    def net_doping(self, position: float) -> float:
+        """Signed net doping N_D - N_A [m^-3] at ``position``."""
+        value = self.concentration(position)
+        if value < 0:
+            raise MaterialError(
+                f"doping profile {self.label!r} returned negative "
+                f"concentration {value} at x={position}")
+        return self.dopant.sign * value
+
+
+def uniform_doping(dopant: DopantType, concentration_cm3: float,
+                   label: str = "uniform") -> DopingProfile:
+    """Uniform profile at ``concentration_cm3`` [cm^-3] (paper: 1e19)."""
+    if concentration_cm3 < 0:
+        raise MaterialError(
+            f"concentration must be non-negative, got {concentration_cm3}")
+    value = per_cm3(concentration_cm3)
+    return DopingProfile(
+        dopant=dopant,
+        concentration=lambda _position: value,
+        label=label,
+    )

@@ -1,0 +1,23 @@
+"""Power-Performance-Area evaluation harness (Figure 5).
+
+Runs the sensitised stimulus plan of every cell through the circuit
+simulator, measures average propagation delay and average supply power,
+computes the layout area, and compares each MIV-transistor implementation
+against the two-layer 2-D FDSOI baseline.
+"""
+
+from repro.ppa.delay import measure_cell_delay
+from repro.ppa.power import measure_cell_power
+from repro.ppa.area import cell_area
+from repro.ppa.runner import CellPPA, PpaRunner, simulate_cell
+from repro.ppa.comparison import PpaComparison
+
+__all__ = [
+    "measure_cell_delay",
+    "measure_cell_power",
+    "cell_area",
+    "CellPPA",
+    "PpaRunner",
+    "simulate_cell",
+    "PpaComparison",
+]

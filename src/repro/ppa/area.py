@@ -1,0 +1,30 @@
+"""Area metric plumbing for the PPA runner."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cells.spec import CellSpec
+from repro.cells.variants import DeviceVariant
+from repro.layout.cell_layout import CellAreaModel
+
+_DEFAULT_MODEL: Optional[CellAreaModel] = None
+
+
+def _model() -> CellAreaModel:
+    global _DEFAULT_MODEL
+    if _DEFAULT_MODEL is None:
+        _DEFAULT_MODEL = CellAreaModel()
+    return _DEFAULT_MODEL
+
+
+def cell_area(spec: CellSpec, variant: DeviceVariant,
+              model: Optional[CellAreaModel] = None) -> float:
+    """Figure 5(c) cell area [m^2] of one implementation."""
+    return (model or _model()).layout(spec, variant).cell_area
+
+
+def substrate_area(spec: CellSpec, variant: DeviceVariant,
+                   model: Optional[CellAreaModel] = None) -> float:
+    """Total substrate (sum-of-layers) area [m^2]."""
+    return (model or _model()).layout(spec, variant).substrate_area

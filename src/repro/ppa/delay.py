@@ -1,0 +1,41 @@
+"""Delay measurement over a cell's stimulus plan."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cells.netlist_builder import CellNetlist
+from repro.cells.vectors import StimulusRun
+from repro.errors import SimulationError
+from repro.spice import measure
+from repro.spice.transient import TransientResult
+
+#: Time allowed for the circuit to settle before the first edge [s].
+SETTLE_TIME = 1.0e-10
+
+
+def run_delays(netlist: CellNetlist, run: StimulusRun,
+               result: TransientResult) -> List[float]:
+    """Propagation delays [s] of one transient run (both edges)."""
+    in_node = f"in_{run.toggled_input}"
+    in_wf = result.waveform(in_node)
+    out_wf = result.waveform(netlist.output_node)
+    measurements = measure.propagation_delays(
+        in_wf, out_wf, netlist.vdd, settle=SETTLE_TIME)
+    return [m.delay for m in measurements]
+
+
+def measure_cell_delay(netlist: CellNetlist,
+                       results: Dict[str, Tuple[StimulusRun,
+                                                TransientResult]]) -> float:
+    """Average propagation delay [s] over every run and edge.
+
+    ``results`` maps toggled-input name to its (run, transient) pair.
+    """
+    delays: List[float] = []
+    for run, result in results.values():
+        delays.extend(run_delays(netlist, run, result))
+    if not delays:
+        raise SimulationError(
+            f"{netlist.spec.name}: no output transitions measured")
+    return sum(delays) / len(delays)

@@ -1,0 +1,36 @@
+"""Average supply power over a cell's stimulus plan."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cells.netlist_builder import CellNetlist
+from repro.cells.vectors import StimulusRun
+from repro.errors import SimulationError
+from repro.spice import measure
+from repro.spice.transient import TransientResult
+
+
+def run_power(netlist: CellNetlist, run: StimulusRun,
+              result: TransientResult) -> float:
+    """Average power [W] of one run over a full activity window.
+
+    The window spans from just before the rising edge to one pulse width
+    past the falling edge, covering both output transitions plus the
+    static intervals between them.
+    """
+    t0 = run.delay / 2.0
+    t1 = min(run.delay + 2.0 * run.width, result.times[-1])
+    return measure.average_power(result.current(netlist.vdd_source),
+                                 netlist.vdd, t0, t1)
+
+
+def measure_cell_power(netlist: CellNetlist,
+                       results: Dict[str, Tuple[StimulusRun,
+                                                TransientResult]]) -> float:
+    """Average power [W] over all runs of the plan."""
+    if not results:
+        raise SimulationError(f"{netlist.spec.name}: no runs to average")
+    powers = [run_power(netlist, run, result)
+              for run, result in results.values()]
+    return sum(powers) / len(powers)

@@ -1,0 +1,112 @@
+"""The full cells x variants PPA sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.library import all_cells, get_cell
+from repro.cells.netlist_builder import (
+    CellNetlist,
+    Parasitics,
+    build_cell_circuit,
+)
+from repro.cells.spec import CellSpec
+from repro.cells.variants import DeviceVariant, extracted_model_set
+from repro.cells.vectors import StimulusRun, stimulus_plan_for
+from repro.ppa.area import cell_area, substrate_area
+from repro.ppa.delay import measure_cell_delay
+from repro.ppa.power import measure_cell_power
+from repro.spice.elements.vsource import PulseSpec
+from repro.spice.transient import TransientResult, transient
+
+#: Base (coarse) transient step [s]; edges are auto-refined 20x.
+DEFAULT_DT = 2.0e-11
+
+
+@dataclass(frozen=True)
+class CellPPA:
+    """PPA numbers of one (cell, variant) implementation."""
+
+    cell_name: str
+    variant: DeviceVariant
+    delay: float          # s
+    power: float          # W
+    area: float           # m^2
+    substrate: float      # m^2
+
+    @property
+    def pdp(self) -> float:
+        """Power-delay product [J]."""
+        return self.power * self.delay
+
+
+def simulate_cell(spec: CellSpec, variant: DeviceVariant,
+                  parasitics: Parasitics = Parasitics(),
+                  dt: float = DEFAULT_DT,
+                  ) -> Tuple[CellNetlist,
+                             Dict[str, Tuple[StimulusRun, TransientResult]]]:
+    """Run the sensitised stimulus plan of one cell implementation.
+
+    Returns the netlist and, per toggled input, its (run, transient).
+    """
+    models = extracted_model_set(variant)
+    netlist = build_cell_circuit(spec, models, parasitics)
+    plan = stimulus_plan_for(spec)
+
+    results: Dict[str, Tuple[StimulusRun, TransientResult]] = {}
+    for run in plan.runs:
+        _configure_sources(netlist, run)
+        record = [f"in_{run.toggled_input}", netlist.output_node]
+        result = transient(netlist.circuit, t_stop=run.t_stop, dt=dt,
+                           method="trap", record_nodes=record)
+        results[run.toggled_input] = (run, result)
+    return netlist, results
+
+
+def _configure_sources(netlist: CellNetlist, run: StimulusRun) -> None:
+    """Point each input source at the run's stimulus."""
+    vdd = netlist.vdd
+    for input_name, source_name in netlist.input_sources.items():
+        source = netlist.circuit.element(source_name)
+        if input_name == run.toggled_input:
+            source.waveform = PulseSpec(**run.pulse_kwargs(vdd))
+        else:
+            level = run.static_levels.get(input_name, False)
+            source.waveform = vdd if level else 0.0
+
+
+class PpaRunner:
+    """Caches PPA results across the cells x variants grid."""
+
+    def __init__(self, parasitics: Parasitics = Parasitics(),
+                 dt: float = DEFAULT_DT):
+        self.parasitics = parasitics
+        self.dt = dt
+        self._cache: Dict[Tuple[str, DeviceVariant], CellPPA] = {}
+
+    def evaluate(self, cell_name: str, variant: DeviceVariant) -> CellPPA:
+        """PPA of one (cell, variant) pair (cached)."""
+        key = (cell_name, variant)
+        if key not in self._cache:
+            spec = get_cell(cell_name)
+            netlist, results = simulate_cell(spec, variant,
+                                             self.parasitics, self.dt)
+            self._cache[key] = CellPPA(
+                cell_name=cell_name,
+                variant=variant,
+                delay=measure_cell_delay(netlist, results),
+                power=measure_cell_power(netlist, results),
+                area=cell_area(spec, variant),
+                substrate=substrate_area(spec, variant),
+            )
+        return self._cache[key]
+
+    def sweep(self, cell_names: Optional[List[str]] = None,
+              variants: Optional[List[DeviceVariant]] = None,
+              ) -> List[CellPPA]:
+        """Evaluate a grid of cells and variants."""
+        names = cell_names or [c.name for c in all_cells()]
+        variants = variants or list(DeviceVariant)
+        return [self.evaluate(name, variant)
+                for name in names for variant in variants]

@@ -1,0 +1,14 @@
+"""Regeneration of every table and figure in the paper."""
+
+from repro.reporting.paper import PAPER_REFERENCE
+from repro.reporting.tables import render_table1, render_table2, render_table3
+from repro.reporting.figures import fig4_curves, fig5_series
+
+__all__ = [
+    "PAPER_REFERENCE",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "fig4_curves",
+    "fig5_series",
+]

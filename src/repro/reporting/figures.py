@@ -1,0 +1,93 @@
+"""Figure data regeneration.
+
+Figures are produced as plain data series (dicts of numpy arrays) plus a
+CSV renderer — the repository is plotting-library-free by design, and
+every benchmark prints the same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cells.variants import DeviceVariant
+from repro.errors import SimulationError
+from repro.extraction.flow import ExtractedDevice
+from repro.ppa.comparison import PpaComparison
+
+#: Figure 5 variant order.
+VARIANT_ORDER = (DeviceVariant.TWO_D, DeviceVariant.MIV_1CH,
+                 DeviceVariant.MIV_2CH, DeviceVariant.MIV_4CH)
+
+
+def fig4_curves(extracted: ExtractedDevice) -> Dict[str, Dict[str, np.ndarray]]:
+    """Figure 4: TCAD vs extracted-SPICE curves for one device.
+
+    Returns panels ``idvg_lin``, ``idvg_sat``, ``idvd@<vg>`` and ``cv``,
+    each mapping ``{"x", "tcad", "spice"}`` to arrays.
+    """
+    model = extracted.model
+    targets = extracted.targets
+    panels: Dict[str, Dict[str, np.ndarray]] = {}
+    for key, curve in (("idvg_lin", targets.idvg_lin),
+                       ("idvg_sat", targets.idvg_sat)):
+        panels[key] = {
+            "x": curve.v,
+            "tcad": curve.i,
+            "spice": model.ids_magnitude(curve.v, curve.fixed_bias),
+        }
+    for curve in targets.idvd.curves:
+        panels[f"idvd@{curve.fixed_bias:g}"] = {
+            "x": curve.v,
+            "tcad": curve.i,
+            "spice": model.ids_magnitude(curve.fixed_bias, curve.v),
+        }
+    panels["cv"] = {
+        "x": targets.cv.v,
+        "tcad": targets.cv.c,
+        "spice": model.cgg(targets.cv.v),
+    }
+    return panels
+
+
+def fig5_series(comparison: PpaComparison,
+                metric: str, scale: float = 1.0) -> Dict[str, List[float]]:
+    """Figure 5 panel data: per-cell bars for the four implementations.
+
+    Returns ``{"cells": [...], "<variant>": [values...]}``.
+    """
+    if not comparison.cell_names:
+        raise SimulationError("comparison holds no cells")
+    out: Dict[str, List] = {"cells": list(comparison.cell_names)}
+    for variant in VARIANT_ORDER:
+        out[variant.value] = [
+            comparison.value(cell, variant, metric) * scale
+            for cell in comparison.cell_names
+        ]
+    return out
+
+
+def render_csv(series: Dict[str, List], float_format: str = "{:.6g}",
+               x_key: Optional[str] = None) -> str:
+    """Render a series dict as CSV text (first key is the x column)."""
+    keys = list(series)
+    if x_key is not None:
+        if x_key not in series:
+            raise SimulationError(f"no column {x_key!r}")
+        keys = [x_key] + [k for k in keys if k != x_key]
+    columns = [series[k] for k in keys]
+    n = len(columns[0])
+    if any(len(c) != n for c in columns):
+        raise SimulationError("series columns have unequal length")
+    lines = [",".join(keys)]
+    for i in range(n):
+        cells = []
+        for column in columns:
+            value = column[i]
+            if isinstance(value, str):
+                cells.append(value)
+            else:
+                cells.append(float_format.format(float(value)))
+        lines.append(",".join(cells))
+    return "\n".join(lines)

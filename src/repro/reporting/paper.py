@@ -1,0 +1,55 @@
+"""The paper's reported numbers, for paper-vs-measured comparison.
+
+Transcribed from the SOCC 2023 text: Table III extraction errors and the
+Figure-5 / summary percentages.  Used by EXPERIMENTS.md generation and by
+shape-checking tests (we compare signs/orderings, not absolute values).
+"""
+
+from __future__ import annotations
+
+#: Table III — extraction error percent, region -> device -> polarity.
+TABLE3_REFERENCE = {
+    "IDVG": {
+        "FOUR": {"n": 7.2, "p": 7.1},
+        "TWO": {"n": 6.6, "p": 7.0},
+        "ONE": {"n": 6.4, "p": 8.5},
+        "TRADITIONAL": {"n": 7.9, "p": 5.5},
+    },
+    "IDVD": {
+        "FOUR": {"n": 3.5, "p": 7.2},
+        "TWO": {"n": 3.4, "p": 6.8},
+        "ONE": {"n": 3.2, "p": 7.5},
+        "TRADITIONAL": {"n": 3.7, "p": 5.2},
+    },
+    "CV": {
+        "FOUR": {"n": 7.0, "p": 5.7},
+        "TWO": {"n": 4.7, "p": 6.0},
+        "ONE": {"n": 5.0, "p": 7.3},
+        "TRADITIONAL": {"n": 9.6, "p": 8.6},
+    },
+}
+
+#: Figure 5 / summary — average percent change vs the 2-D baseline.
+FIG5_REFERENCE = {
+    "delay": {"1-ch": -3.0, "2-ch": -2.0, "4-ch": +2.0},
+    "power": {"1-ch": -0.5, "2-ch": -1.0, "4-ch": -2.0},
+    "area": {"1-ch": -9.0, "2-ch": -18.0, "4-ch": -12.0},
+}
+
+#: Per-cell extremes quoted in the text.
+TEXT_CLAIMS = {
+    "and2_4ch_delay_increase_percent": 6.0,    # AND2X1, 4-ch, delay
+    "inv_2ch_delay_reduction_percent": 11.0,   # INV1X1, 2-ch, delay (up to)
+    "inv_2ch_power_increase_percent": 3.0,     # INV1X1, 2-ch, power
+    "or3_4ch_power_reduction_percent": 3.0,    # OR3X1, 4-ch, power (up to)
+    "substrate_area_reduction_percent": 31.0,  # separate placement bound
+    "area_4ch_best_case_percent": 25.0,        # "if delay can be leveraged"
+    "pdp_reduction_2ch_percent": 3.0,          # summary
+    "extraction_error_bound_percent": 10.0,    # Table III bound
+}
+
+PAPER_REFERENCE = {
+    "table3": TABLE3_REFERENCE,
+    "fig5": FIG5_REFERENCE,
+    "text": TEXT_CLAIMS,
+}

@@ -1,0 +1,62 @@
+"""Text renderings of Tables I, II and III."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compact.parameters import LEVEL70_CONSTANTS
+from repro.extraction.results import ExtractionReport
+from repro.geometry.process import DEFAULT_PROCESS, ProcessParameters
+
+#: Human-readable descriptions for the Table I rows.
+_TABLE1_DESCRIPTIONS = {
+    "t_Si [nm]": "Silicon Thickness",
+    "h_src [nm]": "Height of source/drain region",
+    "t_ox [nm]": "Thickness of oxide liner",
+    "n_src [cm^-3]": "Source/Drain doping",
+    "t_spacer [nm]": "Spacer Thickness",
+    "t_BOX [nm]": "Buried Oxide Thickness",
+    "t_miv [nm]": "MIV thickness",
+    "l_src [nm]": "Length of Source/Drain region",
+    "w_src [nm]": "Width of Source/Drain region",
+    "L_G [nm]": "Length of Gate",
+}
+
+#: Descriptions for the Table II rows.
+_TABLE2_DESCRIPTIONS = {
+    "LEVEL": "Spice model selector",
+    "MOBMOD": "Mobility model selector",
+    "CAPMOD": "Flag for the short channel capacitance model",
+    "IGCMOD": "Gate-to-channel tunneling current model selector",
+    "SOIMOD": "SOI model selector",
+    "TSI": "Silicon Thickness (m)",
+    "TOX": "Oxide Thickness (m)",
+    "TBOX": "Buried Oxide Thickness (m)",
+    "L": "Channel Length (m)",
+    "W": "Channel Width (m)",
+    "TNOM": "Nominal Temperature (C)",
+}
+
+
+def render_table1(process: Optional[ProcessParameters] = None) -> str:
+    """Table I: process and design parameters used in the study."""
+    process = process or DEFAULT_PROCESS
+    lines = ["Parameter\tDescription\tValue"]
+    for key, value in process.as_table1().items():
+        description = _TABLE1_DESCRIPTIONS.get(key, "")
+        lines.append(f"{key}\t{description}\t{value:g}")
+    return "\n".join(lines)
+
+
+def render_table2() -> str:
+    """Table II: level-70 constants and flags used in extraction."""
+    lines = ["Parameter\tDescription\tValue"]
+    for key, value in LEVEL70_CONSTANTS.items():
+        description = _TABLE2_DESCRIPTIONS.get(key, "")
+        lines.append(f"{key}\t{description}\t{value:g}")
+    return "\n".join(lines)
+
+
+def render_table3(report: ExtractionReport) -> str:
+    """Table III: TCAD-to-SPICE extraction errors."""
+    return report.render()

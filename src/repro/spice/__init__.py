@@ -1,0 +1,44 @@
+"""A SPICE-class circuit simulator (the paper's HSPICE substitute).
+
+Modified nodal analysis with damped Newton iteration for DC, source
+stepping as a convergence fallback, and backward-Euler / trapezoidal
+transient with charge-conserving companion models.  Elements: resistor,
+capacitor, independent voltage/current sources (DC, PULSE, PWL) and the
+BSIMSOI4-lite MOSFET.
+"""
+
+from repro.spice.netlist import Circuit
+from repro.spice.elements.resistor import Resistor
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.vsource import (
+    VoltageSource,
+    dc_source,
+    pulse_source,
+    pwl_source,
+)
+from repro.spice.elements.isource import CurrentSource
+from repro.spice.elements.mosfet import Mosfet
+from repro.spice.dcop import OperatingPoint, solve_dc
+from repro.spice.dcsweep import dc_sweep
+from repro.spice.transient import TransientResult, transient
+from repro.spice.waveform import Waveform
+from repro.spice import measure
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Mosfet",
+    "dc_source",
+    "pulse_source",
+    "pwl_source",
+    "OperatingPoint",
+    "solve_dc",
+    "dc_sweep",
+    "transient",
+    "TransientResult",
+    "Waveform",
+    "measure",
+]

@@ -1,0 +1,144 @@
+"""Small-signal AC analysis.
+
+Linearises the circuit at a DC operating point and solves the complex
+MNA system
+
+    (G + j w C) x = b
+
+over a frequency sweep.  ``G`` is the static Jacobian produced by the
+same element stamps the DC solver uses (evaluated at the operating
+point), ``C`` the capacitance Jacobian from the charge stamps, and ``b``
+carries the AC excitations (unit-magnitude sources by convention).
+
+Used for input-capacitance extraction of cells (``C_in = Im(I)/w``) and
+inverter gain/bandwidth studies — the small-signal artefacts a standard-
+cell characterisation flow produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.spice.dcop import OperatingPoint, solve_dc
+from repro.spice.elements.vsource import VoltageSource
+from repro.spice.mna import MnaAssembler
+from repro.spice.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class AcResult:
+    """Complex node voltages / branch currents over frequency."""
+
+    frequencies: np.ndarray
+    node_phasors: Dict[str, np.ndarray]
+    branch_phasors: Dict[str, np.ndarray]
+    operating_point: OperatingPoint
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex voltage phasor of one node across the sweep."""
+        if node == "0":
+            return np.zeros_like(self.frequencies, dtype=complex)
+        try:
+            return self.node_phasors[node]
+        except KeyError:
+            raise SimulationError(f"no node {node!r} in AC result") from None
+
+    def current(self, source_name: str) -> np.ndarray:
+        """Complex branch current of a voltage source."""
+        try:
+            return self.branch_phasors[source_name]
+        except KeyError:
+            raise SimulationError(
+                f"no source {source_name!r} in AC result") from None
+
+    def gain_db(self, out_node: str, in_node: str) -> np.ndarray:
+        """20 log10 |V(out)/V(in)|."""
+        vin = self.voltage(in_node)
+        vout = self.voltage(out_node)
+        ratio = np.abs(vout) / np.maximum(np.abs(vin), 1e-30)
+        return 20.0 * np.log10(np.maximum(ratio, 1e-30))
+
+
+def ac_analysis(circuit: Circuit, ac_source: str,
+                frequencies, magnitude: float = 1.0,
+                x_op: Optional[np.ndarray] = None) -> AcResult:
+    """Run an AC sweep with ``ac_source`` as the unit excitation.
+
+    All other independent sources are AC-grounded (their small-signal
+    value is zero), as in SPICE ``.ac`` semantics.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if frequencies.ndim != 1 or frequencies.size == 0:
+        raise SimulationError("frequencies must be a non-empty 1-D array")
+    if np.any(frequencies <= 0):
+        raise SimulationError("frequencies must be positive")
+
+    element = circuit.element(ac_source)
+    if not isinstance(element, VoltageSource):
+        raise SimulationError(f"{ac_source!r} is not a voltage source")
+
+    op = solve_dc(circuit, x0=x_op)
+    assembler = MnaAssembler(circuit)
+    stamper = assembler.assemble_static(op.x, time=0.0)
+
+    # The static stamp's matrix *is* G: conductances plus source rows.
+    g_matrix = stamper.matrix.copy()
+    _, c_matrix = assembler.assemble_dynamic(op.x)
+
+    # AC excitation vector: 'magnitude' volts on the chosen source's
+    # branch equation, zero everywhere else.
+    rhs = np.zeros(assembler.n_unknowns, dtype=complex)
+    rhs[assembler.branch_index[ac_source]] = magnitude
+
+    n_points = frequencies.size
+    solutions = np.empty((n_points, assembler.n_unknowns), dtype=complex)
+    for k, freq in enumerate(frequencies):
+        omega = 2.0 * np.pi * freq
+        matrix = g_matrix + 1j * omega * c_matrix
+        try:
+            solutions[k] = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(
+                f"AC system singular at f={freq:g} Hz ({exc})") from None
+
+    node_phasors = {node: solutions[:, idx]
+                    for node, idx in assembler.node_index.items()}
+    branch_phasors = {name: solutions[:, idx]
+                      for name, idx in assembler.branch_index.items()}
+    return AcResult(frequencies, node_phasors, branch_phasors, op)
+
+
+def input_capacitance(circuit: Circuit, source_name: str,
+                      frequency: float = 1e8) -> float:
+    """Small-signal capacitance seen by a voltage source [F].
+
+    C = Im(I) / (w |V|) with the source as the only AC excitation; the
+    probe frequency defaults to 100 MHz, far below device poles.
+    """
+    result = ac_analysis(circuit, source_name, np.array([frequency]))
+    current = result.current(source_name)[0]
+    omega = 2.0 * np.pi * frequency
+    # Branch current flows *into* the + terminal in MNA convention; the
+    # current delivered by the source into the circuit is its negative.
+    return float(np.imag(-current)) / omega
+
+
+def unity_gain_frequency(result: AcResult, out_node: str,
+                         in_node: str) -> float:
+    """First frequency where the gain falls to 0 dB (interpolated)."""
+    gain = result.gain_db(out_node, in_node)
+    if gain[0] <= 0:
+        raise SimulationError("gain already below unity at the first point")
+    below = np.nonzero(gain <= 0.0)[0]
+    if below.size == 0:
+        raise SimulationError("gain never crosses unity in the sweep")
+    k = below[0]
+    f1, f2 = result.frequencies[k - 1], result.frequencies[k]
+    g1, g2 = gain[k - 1], gain[k]
+    # log-linear interpolation
+    frac = g1 / (g1 - g2)
+    return float(f1 * (f2 / f1) ** frac)

@@ -1,0 +1,80 @@
+"""DC operating-point analysis with a source-stepping fallback."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.mna import MnaAssembler, scale_sources
+from repro.spice.netlist import Circuit
+from repro.spice.newton import newton_solve
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Result of a DC solve.
+
+    Attributes
+    ----------
+    voltages:
+        Node name -> voltage [V].
+    branch_currents:
+        Voltage-source name -> current [A] (positive into the + node).
+    x:
+        Raw solution vector (for warm-starting transient).
+    """
+
+    voltages: Dict[str, float]
+    branch_currents: Dict[str, float]
+    x: np.ndarray
+
+    def voltage(self, node: str) -> float:
+        """Voltage of one node (ground returns 0)."""
+        if node == "0":
+            return 0.0
+        return self.voltages[node]
+
+    def current(self, source_name: str) -> float:
+        """Branch current of one voltage source."""
+        return self.branch_currents[source_name]
+
+
+def _package(assembler: MnaAssembler, x: np.ndarray) -> OperatingPoint:
+    currents = {name: float(x[row])
+                for name, row in assembler.branch_index.items()}
+    return OperatingPoint(assembler.voltages_from(x), currents, x)
+
+
+def solve_dc(circuit: Circuit, time: float = 0.0,
+             x0: Optional[np.ndarray] = None,
+             source_steps: int = 8) -> OperatingPoint:
+    """Find the DC operating point (sources evaluated at ``time``).
+
+    Tries a direct Newton solve first; on failure falls back to source
+    stepping: solve with all sources scaled to 0 (trivial), then continue
+    the solution as the scale ramps to 1.
+    """
+    assembler = MnaAssembler(circuit)
+    x = x0.copy() if x0 is not None else np.zeros(assembler.n_unknowns)
+    try:
+        return _package(assembler, newton_solve(assembler, x, time))
+    except ConvergenceError:
+        pass
+
+    x = np.zeros(assembler.n_unknowns)
+    for step in range(1, source_steps + 1):
+        factor = step / source_steps
+        with scale_sources(circuit, factor):
+            try:
+                x = newton_solve(assembler, x, time)
+            except ConvergenceError as exc:
+                raise ConvergenceError(
+                    f"source stepping failed at factor {factor:.2f} "
+                    f"for {circuit.summary()}",
+                    iterations=exc.iterations,
+                    residual=exc.residual) from exc
+    # Final solve with the true (time-dependent) source values.
+    return _package(assembler, newton_solve(assembler, x, time))

@@ -1,0 +1,63 @@
+"""DC sweep: step a source value and record the operating points."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.spice.dcop import OperatingPoint, solve_dc
+from repro.spice.netlist import Circuit
+from repro.spice.elements.vsource import VoltageSource
+
+
+def dc_sweep(circuit: Circuit, source_name: str,
+             values: Sequence[float]) -> List[OperatingPoint]:
+    """Sweep a voltage source and return one operating point per value.
+
+    Each point warm-starts from the previous solution, which is both
+    faster and more robust than independent solves.
+    """
+    values = list(values)
+    if not values:
+        raise SimulationError("dc_sweep needs at least one value")
+    element = circuit.element(source_name)
+    if not isinstance(element, VoltageSource):
+        raise SimulationError(f"{source_name!r} is not a voltage source")
+
+    saved = element.waveform
+    results: List[OperatingPoint] = []
+    x_prev = None
+    try:
+        for value in values:
+            element.waveform = float(value)
+            op = solve_dc(circuit, x0=x_prev)
+            results.append(op)
+            x_prev = op.x
+    finally:
+        element.waveform = saved
+    return results
+
+
+def sweep_voltages(results: List[OperatingPoint],
+                   node: str) -> np.ndarray:
+    """Extract one node's voltage across sweep results."""
+    return np.array([op.voltage(node) for op in results])
+
+
+def sweep_currents(results: List[OperatingPoint],
+                   source_name: str) -> np.ndarray:
+    """Extract one source's current across sweep results."""
+    return np.array([op.current(source_name) for op in results])
+
+
+def transfer_curve(circuit: Circuit, in_source: str, out_node: str,
+                   v_start: float, v_stop: float,
+                   n_points: int = 41) -> Dict[str, np.ndarray]:
+    """Voltage transfer curve of a gate: sweep input, record output."""
+    if n_points < 2:
+        raise SimulationError("transfer curve needs >= 2 points")
+    vin = np.linspace(v_start, v_stop, n_points)
+    ops = dc_sweep(circuit, in_source, vin)
+    return {"vin": vin, "vout": sweep_voltages(ops, out_node)}

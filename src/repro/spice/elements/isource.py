@@ -1,0 +1,29 @@
+"""Independent current source."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.spice.elements.base import Element, Stamper
+
+
+class CurrentSource(Element):
+    """DC (or waveform-driven) current source, flowing n_plus -> n_minus
+    through the source externally (SPICE convention: current flows from
+    the + terminal through the circuit to the - terminal)."""
+
+    def __init__(self, name: str, n_plus: str, n_minus: str, waveform):
+        super().__init__(name, (n_plus, n_minus))
+        self.waveform = waveform
+
+    def value(self, time: float) -> float:
+        """Source current at ``time`` [A]."""
+        if hasattr(self.waveform, "value"):
+            return float(self.waveform.value(time))
+        return float(self.waveform)
+
+    def stamp_static(self, stamper: Stamper, voltages: Dict[str, float],
+                     time: float) -> None:
+        i = self.value(time)
+        stamper.add_rhs(self.nodes[0], -i)
+        stamper.add_rhs(self.nodes[1], i)

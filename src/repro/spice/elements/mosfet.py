@@ -1,0 +1,91 @@
+"""MOSFET element wrapping the BSIMSOI4-lite compact model.
+
+Three terminals (drain, gate, source).  The static stamp linearises the
+drain current with numerically differentiated gm/gds (robust against any
+future change in the model equations); the dynamic stamp provides the
+model's conservative terminal charges with a numerical 3x3 capacitance
+Jacobian.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.compact.model import BsimSoi4Lite
+from repro.errors import NetlistError
+from repro.spice.elements.base import Element, Stamper
+
+#: Finite-difference step for gm/gds/capacitances [V].
+FD_DELTA = 1e-4
+
+
+class Mosfet(Element):
+    """Compact-model MOSFET (nodes: drain, gate, source)."""
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 model: BsimSoi4Lite):
+        super().__init__(name, (drain, gate, source))
+        if not isinstance(model, BsimSoi4Lite):
+            raise NetlistError(f"{name}: model must be a BsimSoi4Lite")
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # evaluations
+    # ------------------------------------------------------------------
+    def _bias(self, voltages: Dict[str, float]):
+        vd, vg, vs = self.terminal_voltages(voltages)
+        return vg - vs, vd - vs
+
+    def drain_current(self, voltages: Dict[str, float]) -> float:
+        """I_D [A] flowing into the drain terminal."""
+        vgs, vds = self._bias(voltages)
+        return self.model.ids(vgs, vds)
+
+    # ------------------------------------------------------------------
+    # stamps
+    # ------------------------------------------------------------------
+    def stamp_static(self, stamper: Stamper, voltages: Dict[str, float],
+                     time: float) -> None:
+        vgs, vds = self._bias(voltages)
+        d = FD_DELTA
+        batch = self.model.ids_batch(
+            np.array([vgs, vgs + d, vgs - d, vgs, vgs]),
+            np.array([vds, vds, vds, vds + d, vds - d]))
+        ids = float(batch[0])
+        gm = float(batch[1] - batch[2]) / (2.0 * d)
+        gds = float(batch[3] - batch[4]) / (2.0 * d)
+
+        drain, gate, source = self.nodes
+        # Companion: i = ids + gm * d(vgs) + gds * d(vds), flowing d->s.
+        stamper.stamp_transconductance(drain, source, gate, source, gm)
+        stamper.stamp_conductance(drain, source, gds)
+        stamper.stamp_current(drain, source, ids - gm * vgs - gds * vds)
+
+    def stamp_dynamic(self, stamper: Stamper, voltages: Dict[str, float],
+                      charge_vector: np.ndarray,
+                      cap_matrix: np.ndarray) -> None:
+        drain, gate, source = self.nodes
+        rows = [stamper.row(n) for n in (gate, drain, source)]
+        vgs, vds = self._bias(voltages)
+
+        d = FD_DELTA
+        qg_b, qd_b, qs_b = self.model.charges_batch(
+            np.array([vgs, vgs + d, vgs]),
+            np.array([vds, vds, vds + d]))
+        q0 = np.array([qg_b[0], qd_b[0], qs_b[0]])
+        # dq/dvg (vs fixed), dq/dvd, and dq/dvs = -(dq/dvg + dq/dvd).
+        dq_dvg = (np.array([qg_b[1], qd_b[1], qs_b[1]]) - q0) / d
+        dq_dvd = (np.array([qg_b[2], qd_b[2], qs_b[2]]) - q0) / d
+        dq_dvs = -(dq_dvg + dq_dvd)
+
+        for i, row in enumerate(rows):
+            if row is None:
+                continue
+            charge_vector[row] += q0[i]
+            for deriv, node in ((dq_dvg[i], gate), (dq_dvd[i], drain),
+                                (dq_dvs[i], source)):
+                col = stamper.row(node)
+                if col is not None:
+                    cap_matrix[row, col] += deriv

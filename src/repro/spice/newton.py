@@ -1,0 +1,53 @@
+"""Damped Newton iteration on the static MNA system."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.mna import MnaAssembler
+
+#: Maximum Newton iterations.
+MAX_ITERATIONS = 120
+
+#: Voltage update convergence threshold [V].
+V_TOLERANCE = 1e-7
+
+#: Maximum per-iteration voltage update (damping) [V].
+MAX_STEP = 0.4
+
+
+def newton_solve(assembler: MnaAssembler, x0: np.ndarray, time: float,
+                 extra_system: Optional[Callable] = None) -> np.ndarray:
+    """Solve the nonlinear MNA system starting from ``x0``.
+
+    ``extra_system(x, stamper)`` lets the transient integrator add its
+    charge-companion terms to the freshly assembled static system.
+    Tries a lightly damped iteration first; if that limit-cycles (sharp
+    transition regions can bounce between two linearisations), restarts
+    with strong damping.  Raises :class:`ConvergenceError` with
+    diagnostics when both fail.
+    """
+    residual = float("inf")
+    for max_step, iterations in ((MAX_STEP, MAX_ITERATIONS),
+                                 (MAX_STEP / 8.0, 4 * MAX_ITERATIONS)):
+        x = x0.copy()
+        for _ in range(iterations):
+            stamper = assembler.assemble_static(x, time)
+            if extra_system is not None:
+                extra_system(x, stamper)
+            x_new = assembler.solve_linear(stamper.matrix, stamper.rhs)
+            delta = x_new - x
+            residual = float(np.max(np.abs(delta))) if delta.size else 0.0
+            if residual <= V_TOLERANCE:
+                return x_new
+            # Damp only node voltages; branch currents may move freely.
+            step = delta.copy()
+            n = assembler.n_nodes
+            step[:n] = np.clip(step[:n], -max_step, max_step)
+            x = x + step
+    raise ConvergenceError(
+        f"Newton failed at t={time:g}s", iterations=5 * MAX_ITERATIONS,
+        residual=residual)

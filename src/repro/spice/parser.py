@@ -1,0 +1,243 @@
+"""SPICE deck parsing and serialisation.
+
+The paper's flow hands HSPICE decks around; this module lets the
+generated cell netlists round-trip through plain text:
+
+* :func:`serialize_circuit` — Circuit -> HSPICE-style deck (R/C/V/I/M
+  cards, ``.model`` cards for every distinct MOSFET model, ``.end``);
+* :func:`parse_deck` — deck text -> Circuit (with model resolution).
+
+Supported element cards::
+
+    Rname n1 n2 value
+    Cname n1 n2 value
+    Vname n+ n- DC value
+    Vname n+ n- PULSE(v1 v2 td tr tf pw per)
+    Vname n+ n- PWL(t1 v1 t2 v2 ...)
+    Iname n+ n- DC value
+    Mname d g s model_name
+
+Values accept engineering suffixes (f p n u m k meg g, case-insensitive).
+Continuation lines start with ``+``; comments with ``*`` (full line) or
+``$`` (trailing).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.compact.cards import parse_model_card, render_model_card
+from repro.compact.model import BsimSoi4Lite
+from repro.errors import NetlistError
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.isource import CurrentSource
+from repro.spice.elements.mosfet import Mosfet
+from repro.spice.elements.resistor import Resistor
+from repro.spice.elements.vsource import (
+    PulseSpec,
+    PwlSpec,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit
+
+_SUFFIXES = {
+    "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6, "m": 1e-3,
+    "k": 1e3, "meg": 1e6, "g": 1e9, "t": 1e12,
+}
+
+_NUMBER_RE = re.compile(
+    r"^([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)(meg|[fpnumkgt])?$",
+    re.IGNORECASE)
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix."""
+    match = _NUMBER_RE.match(token.strip())
+    if match is None:
+        raise NetlistError(f"cannot parse value {token!r}")
+    value = float(match.group(1))
+    suffix = (match.group(2) or "").lower()
+    return value * _SUFFIXES.get(suffix, 1.0)
+
+
+def format_value(value: float) -> str:
+    """Format a number compactly with an engineering suffix."""
+    for suffix, scale in (("t", 1e12), ("g", 1e9), ("meg", 1e6),
+                          ("k", 1e3)):
+        if abs(value) >= scale:
+            return f"{value / scale:.6g}{suffix}"
+    if value == 0:
+        return "0"
+    for suffix, scale in (("m", 1e-3), ("u", 1e-6), ("n", 1e-9),
+                          ("p", 1e-12), ("f", 1e-15)):
+        if abs(value) >= scale:
+            return f"{value / scale:.6g}{suffix}"
+    return f"{value:.6g}"
+
+
+# ---------------------------------------------------------------------------
+# serialisation
+# ---------------------------------------------------------------------------
+def _source_card(element: VoltageSource) -> str:
+    waveform = element.waveform
+    n_plus, n_minus = element.nodes
+    head = f"{element.name} {n_plus} {n_minus}"
+    if isinstance(waveform, PulseSpec):
+        args = " ".join(format_value(v) for v in (
+            waveform.v1, waveform.v2, waveform.delay, waveform.rise,
+            waveform.fall, waveform.width, waveform.period))
+        return f"{head} PULSE({args})"
+    if isinstance(waveform, PwlSpec):
+        pairs = " ".join(f"{format_value(t)} {format_value(v)}"
+                         for t, v in waveform.points)
+        return f"{head} PWL({pairs})"
+    return f"{head} DC {format_value(float(element.value(0.0)))}"
+
+
+def serialize_circuit(circuit: Circuit) -> str:
+    """Render a circuit as an HSPICE-style deck."""
+    lines = [f"* {circuit.title}"]
+    models: Dict[str, BsimSoi4Lite] = {}
+    for element in circuit:
+        if isinstance(element, Resistor):
+            lines.append(f"{element.name} {element.nodes[0]} "
+                         f"{element.nodes[1]} {format_value(element.resistance)}")
+        elif isinstance(element, Capacitor):
+            lines.append(f"{element.name} {element.nodes[0]} "
+                         f"{element.nodes[1]} "
+                         f"{format_value(element.capacitance)}")
+        elif isinstance(element, VoltageSource):
+            lines.append(_source_card(element))
+        elif isinstance(element, CurrentSource):
+            lines.append(f"{element.name} {element.nodes[0]} "
+                         f"{element.nodes[1]} DC "
+                         f"{format_value(float(element.value(0.0)))}")
+        elif isinstance(element, Mosfet):
+            d, g, s = element.nodes
+            lines.append(f"{element.name} {d} {g} {s} {element.model.name}")
+            models[element.model.name] = element.model
+        else:
+            raise NetlistError(
+                f"cannot serialise element type {type(element).__name__}")
+    for model in models.values():
+        lines.append("")
+        lines.append(render_model_card(model).rstrip())
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+def _strip_comments(text: str) -> List[str]:
+    """Split into logical lines: joins '+' continuations, drops comments."""
+    logical: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("$", 1)[0].rstrip()
+        if not line or line.lstrip().startswith("*"):
+            continue
+        if line.lstrip().startswith("+") and logical:
+            logical[-1] += " " + line.lstrip()[1:].strip()
+        else:
+            logical.append(line.strip())
+    return logical
+
+
+def _split_function_call(text: str) -> Optional[Tuple[str, List[str]]]:
+    """Recognise ``NAME(arg arg ...)`` source waveforms."""
+    match = re.match(r"^(PULSE|PWL)\s*\((.*)\)$", text.strip(),
+                     re.IGNORECASE)
+    if match is None:
+        return None
+    args = match.group(2).replace(",", " ").split()
+    return match.group(1).upper(), args
+
+
+def _parse_vsource(name: str, tokens: List[str]) -> VoltageSource:
+    n_plus, n_minus = tokens[0], tokens[1]
+    rest = " ".join(tokens[2:])
+    call = _split_function_call(rest)
+    if call is not None:
+        kind, args = call
+        values = [parse_value(a) for a in args]
+        if kind == "PULSE":
+            if len(values) != 7:
+                raise NetlistError(f"{name}: PULSE needs 7 arguments")
+            v1, v2, td, tr, tf, pw, per = values
+            return VoltageSource(name, n_plus, n_minus,
+                                 PulseSpec(v1, v2, td, tr, tf, pw, per))
+        if len(values) < 2 or len(values) % 2:
+            raise NetlistError(f"{name}: PWL needs time/value pairs")
+        points = tuple(zip(values[::2], values[1::2]))
+        return VoltageSource(name, n_plus, n_minus, PwlSpec(points))
+    rest_tokens = rest.split()
+    if rest_tokens and rest_tokens[0].upper() == "DC":
+        rest_tokens = rest_tokens[1:]
+    if len(rest_tokens) != 1:
+        raise NetlistError(f"{name}: cannot parse source value {rest!r}")
+    return VoltageSource(name, n_plus, n_minus, parse_value(rest_tokens[0]))
+
+
+def parse_deck(text: str) -> Circuit:
+    """Parse a deck produced by :func:`serialize_circuit` (or written by
+    hand with the supported cards)."""
+    lines = _strip_comments(text)
+    if not lines:
+        raise NetlistError("empty deck")
+
+    # First pass: collect .model cards.
+    models: Dict[str, BsimSoi4Lite] = {}
+    element_lines: List[str] = []
+    title = "deck"
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        lowered = line.lower()
+        if lowered.startswith(".model"):
+            # Continuations were merged into one line; rebuild the
+            # header + assignment form parse_model_card expects.
+            tokens = line.split()
+            if len(tokens) < 3:
+                raise NetlistError(f"bad .model card: {line!r}")
+            header = " ".join(tokens[:3])
+            assignments = " ".join(tokens[3:])
+            card = header if not assignments else \
+                f"{header}\n+ {assignments}"
+            model = parse_model_card(card)
+            models[model.name] = model
+            index += 1
+            continue
+        if lowered == ".end" or lowered.startswith(".end "):
+            break
+        element_lines.append(line)
+        index += 1
+
+    circuit = Circuit(title)
+    for line in element_lines:
+        tokens = line.split()
+        name = tokens[0]
+        kind = name[0].upper()
+        if kind == "R":
+            circuit.add(Resistor(name, tokens[1], tokens[2],
+                                 parse_value(tokens[3])))
+        elif kind == "C":
+            circuit.add(Capacitor(name, tokens[1], tokens[2],
+                                  parse_value(tokens[3])))
+        elif kind == "V":
+            circuit.add(_parse_vsource(name, tokens[1:]))
+        elif kind == "I":
+            value_token = tokens[4] if tokens[3].upper() == "DC" else tokens[3]
+            circuit.add(CurrentSource(name, tokens[1], tokens[2],
+                                      parse_value(value_token)))
+        elif kind == "M":
+            if len(tokens) != 5:
+                raise NetlistError(f"{name}: MOSFET card needs d g s model")
+            model_name = tokens[4]
+            if model_name not in models:
+                raise NetlistError(f"{name}: unknown model {model_name!r}")
+            circuit.add(Mosfet(name, tokens[1], tokens[2], tokens[3],
+                               models[model_name]))
+        else:
+            raise NetlistError(f"unsupported card: {line!r}")
+    return circuit

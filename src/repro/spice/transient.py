@@ -1,0 +1,149 @@
+"""Transient analysis: backward-Euler / trapezoidal with breakpoints.
+
+The time grid is built from a base step refined around source
+breakpoints (pulse edges), where standard-cell waveforms actually move.
+Each step solves the nonlinear system
+
+    f_static(x) + (q(x) - q_prev) / dt = 0          (backward Euler)
+    f_static(x) + 2 (q(x) - q_prev)/dt - i_prev = 0  (trapezoidal)
+
+with the charge companion folded into the Newton iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.spice.dcop import solve_dc
+from repro.spice.elements.vsource import VoltageSource
+from repro.spice.mna import MnaAssembler
+from repro.spice.netlist import Circuit
+from repro.spice.newton import newton_solve
+from repro.spice.waveform import Waveform
+
+#: Width of the refined window that follows every breakpoint [s].
+EDGE_WINDOW = 1.5e-10
+
+#: Refinement factor of the step inside edge windows.
+EDGE_REFINE = 20
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Sampled solution of a transient run."""
+
+    times: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+    source_currents: Dict[str, np.ndarray]
+
+    def waveform(self, node: str) -> Waveform:
+        """Voltage waveform of a node."""
+        if node == "0":
+            return Waveform(self.times, np.zeros_like(self.times), "0")
+        if node not in self.node_voltages:
+            raise SimulationError(f"no node {node!r} in transient result")
+        return Waveform(self.times, self.node_voltages[node], node)
+
+    def current(self, source_name: str) -> Waveform:
+        """Branch-current waveform of a voltage source."""
+        if source_name not in self.source_currents:
+            raise SimulationError(f"no source {source_name!r} in result")
+        return Waveform(self.times, self.source_currents[source_name],
+                        source_name)
+
+
+def build_time_grid(t_stop: float, dt: float,
+                    breakpoints: List[float]) -> np.ndarray:
+    """Non-uniform grid: coarse ``dt`` plus refined edge windows."""
+    if t_stop <= 0 or dt <= 0:
+        raise SimulationError("t_stop and dt must be positive")
+    points = set(np.arange(0.0, t_stop + dt / 2, dt).tolist())
+    fine = dt / EDGE_REFINE
+    for bp in breakpoints:
+        if bp >= t_stop:
+            continue
+        window_end = min(bp + EDGE_WINDOW, t_stop)
+        points.update(np.arange(bp, window_end, fine).tolist())
+        points.add(bp)
+    points.add(t_stop)
+    points.add(0.0)
+    grid = np.array(sorted(p for p in points if 0.0 <= p <= t_stop))
+    # Drop near-duplicate points that would produce tiny steps.
+    keep = np.concatenate([[True], np.diff(grid) > fine * 1e-3])
+    return grid[keep]
+
+
+def transient(circuit: Circuit, t_stop: float, dt: float,
+              method: str = "trap",
+              record_nodes: Optional[List[str]] = None) -> TransientResult:
+    """Run a transient analysis from the DC operating point at t = 0.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate.
+    t_stop:
+        End time [s].
+    dt:
+        Base (coarse) step [s]; edges are refined automatically.
+    method:
+        ``"be"`` (backward Euler) or ``"trap"`` (trapezoidal).
+    record_nodes:
+        Subset of nodes to record (default: all).
+    """
+    if method not in ("be", "trap"):
+        raise SimulationError(f"unknown integration method {method!r}")
+    assembler = MnaAssembler(circuit)
+
+    breakpoints: List[float] = []
+    sources = [e for e in circuit if isinstance(e, VoltageSource)]
+    for source in sources:
+        breakpoints.extend(source.breakpoints(t_stop))
+    grid = build_time_grid(t_stop, dt, breakpoints)
+
+    op = solve_dc(circuit, time=0.0)
+    x = op.x
+    q_prev, _ = assembler.assemble_dynamic(x)
+    i_prev = np.zeros_like(q_prev)
+
+    nodes = record_nodes or circuit.nodes
+    n_steps = len(grid)
+    volts = {node: np.empty(n_steps) for node in nodes}
+    currents = {s.name: np.empty(n_steps) for s in sources}
+
+    def record(k: int, xk: np.ndarray) -> None:
+        voltages = assembler.voltages_from(xk)
+        for node in nodes:
+            volts[node][k] = voltages.get(node, 0.0)
+        for source in sources:
+            currents[source.name][k] = assembler.branch_current(
+                xk, source.name)
+
+    record(0, x)
+    for k in range(1, n_steps):
+        t_k = grid[k]
+        h = grid[k] - grid[k - 1]
+        coeff = 1.0 / h if method == "be" else 2.0 / h
+
+        def charge_companion(x_est: np.ndarray, stamper) -> None:
+            q, cap = assembler.assemble_dynamic(x_est)
+            stamper.matrix += coeff * cap
+            i_hist = coeff * q_prev + (i_prev if method == "trap" else 0.0)
+            stamper.rhs += coeff * (cap @ x_est) - (coeff * q - i_hist)
+
+        x = newton_solve(assembler, x, t_k, extra_system=charge_companion)
+        q_new, _ = assembler.assemble_dynamic(x)
+        if method == "trap":
+            i_prev = coeff * (q_new - q_prev) - i_prev
+        q_prev = q_new
+        record(k, x)
+
+    return TransientResult(
+        times=grid,
+        node_voltages=volts,
+        source_currents=currents,
+    )

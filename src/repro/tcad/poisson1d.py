@@ -1,0 +1,240 @@
+"""Nonlinear 1-D Poisson solver through the FDSOI gate stack.
+
+Solves, vertically through oxide / silicon film / BOX,
+
+    d/dx ( eps(x) dpsi/dx ) = -q (p - n + N_net)
+
+with Dirichlet boundaries: ``psi = V_G - V_FB`` at the gate/oxide interface
+and ``psi = V_back`` at the bottom of the BOX (grounded carrier wafer).
+Carriers follow Boltzmann statistics with quasi-Fermi splitting: the
+electron quasi-Fermi potential equals the local channel potential ``V``
+(0 at source, V_DS at drain) while holes stay at the source reference.
+
+The solver uses a damped Newton iteration on the finite-volume
+discretisation; the Jacobian is tridiagonal and solved with the banded
+LAPACK routine.  Outputs are the potential profile, the sheet inversion
+charge (integral of the minority carrier density over the film) and the
+gate charge per unit area (displacement field at the gate boundary), from
+which C-V curves are differentiated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+from repro.constants import Q, thermal_voltage
+from repro.errors import ConvergenceError
+from repro.materials import SILICON, SILICON_DIOXIDE
+from repro.tcad.mesh import Mesh1D, Region
+from repro.tcad.statistics import boltzmann_n, boltzmann_p, fermi_correction
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """Vertical stack description for the 1-D solve.
+
+    Attributes
+    ----------
+    t_ox:
+        Front gate oxide thickness [m] (possibly reduced to model the MIV
+        side-gate coupling boost; see :mod:`repro.tcad.device`).
+    t_si:
+        Silicon film thickness [m].
+    t_box:
+        Buried oxide thickness [m].
+    flatband:
+        Front-gate flat-band voltage V_FB [V] (workfunction difference).
+    net_doping:
+        Signed net doping N_D - N_A in the film [m^-3] (0 for the channel).
+    temperature:
+        Lattice temperature [K].
+    n_cells_ox, n_cells_si, n_cells_box:
+        Mesh resolution per region.
+    """
+
+    t_ox: float
+    t_si: float
+    t_box: float
+    flatband: float = 0.0
+    net_doping: float = 0.0
+    temperature: float = 298.15
+    n_cells_ox: int = 6
+    n_cells_si: int = 28
+    n_cells_box: int = 30
+
+
+@dataclass(frozen=True)
+class PoissonSolution:
+    """Result of one 1-D Poisson solve.
+
+    Attributes
+    ----------
+    psi:
+        Electrostatic potential at every node [V].
+    x:
+        Node positions [m] (0 at the gate/oxide interface).
+    q_inv:
+        Sheet inversion (minority) charge magnitude [C/m^2].
+    q_gate:
+        Gate charge per area [C/m^2] (displacement field at the gate).
+    surface_potential:
+        Potential at the oxide/film interface [V].
+    iterations:
+        Newton iterations used.
+    """
+
+    psi: np.ndarray
+    x: np.ndarray
+    q_inv: float
+    q_gate: float
+    surface_potential: float
+    iterations: int
+
+
+class Poisson1D:
+    """Newton solver for the vertical FDSOI electrostatics.
+
+    Parameters
+    ----------
+    stack:
+        Stack geometry and conditions.
+    use_fermi_correction:
+        Apply the first-order degeneracy correction to carrier densities.
+    """
+
+    #: Maximum Newton iterations before declaring failure.
+    MAX_ITERATIONS = 80
+    #: Convergence threshold on the potential update [V].
+    TOLERANCE = 1e-9
+    #: Maximum per-iteration potential update (damping) [V].
+    MAX_UPDATE = 0.5
+
+    def __init__(self, stack: StackSpec, use_fermi_correction: bool = True):
+        self.stack = stack
+        self.use_fermi_correction = use_fermi_correction
+        self.vt = thermal_voltage(stack.temperature)
+        self.ni = SILICON.intrinsic_density(stack.temperature)
+        self.mesh = Mesh1D([
+            Region("oxide", stack.t_ox, stack.n_cells_ox,
+                   SILICON_DIOXIDE.permittivity),
+            Region("film", stack.t_si, stack.n_cells_si,
+                   SILICON.permittivity, has_charge=True),
+            Region("box", stack.t_box, stack.n_cells_box,
+                   SILICON_DIOXIDE.permittivity),
+        ])
+        self._film_mask = self.mesh.node_charged
+        self._volumes = self.mesh.node_volumes
+        self._surface_index = int(np.argmax(self.mesh.region_node_mask("film")))
+
+    def solve(self, v_gate: float, v_channel: float = 0.0,
+              v_back: float = 0.0,
+              psi0: Optional[np.ndarray] = None) -> PoissonSolution:
+        """Solve for the potential profile.
+
+        Parameters
+        ----------
+        v_gate:
+            Front gate voltage [V].
+        v_channel:
+            Local channel quasi-Fermi potential (0 at source, V_DS at the
+            drain end) [V].
+        v_back:
+            Back-plane (carrier wafer) potential [V].
+        psi0:
+            Optional initial guess (e.g. the solution at a nearby bias).
+        """
+        mesh = self.mesh
+        n_nodes = mesh.n_nodes
+        psi_top = v_gate - self.stack.flatband
+
+        if psi0 is not None and psi0.shape == (n_nodes,):
+            psi = psi0.copy()
+        else:
+            psi = np.linspace(psi_top, v_back, n_nodes)
+        psi[0] = psi_top
+        psi[-1] = v_back
+
+        cond = mesh.edge_eps / mesh.h  # edge conductances [F/m^2]
+        residual = float("inf")
+        for iteration in range(1, self.MAX_ITERATIONS + 1):
+            n, p, dn, dp = self._carriers(psi, v_channel)
+            rho = Q * (p - n + self.stack.net_doping) * self._film_mask
+            drho = Q * (dp - dn) * self._film_mask
+
+            # Residual F_i and tridiagonal Jacobian for interior nodes.
+            flux = cond * (psi[1:] - psi[:-1])
+            f = np.zeros(n_nodes)
+            f[1:-1] = flux[1:] - flux[:-1] + rho[1:-1] * self._volumes[1:-1]
+
+            diag = np.zeros(n_nodes)
+            diag[1:-1] = -(cond[1:] + cond[:-1]) + drho[1:-1] * self._volumes[1:-1]
+
+            # Dirichlet rows.
+            diag[0] = diag[-1] = 1.0
+            f[0] = f[-1] = 0.0
+            # Banded storage: ab[0, i+1] = A[i, i+1], ab[2, i] = A[i+1, i].
+            ab = np.zeros((3, n_nodes))
+            ab[0, 2:] = cond[1:]     # row i couples right via cond[i]
+            ab[1, :] = diag
+            ab[2, :-2] = cond[:-1]   # row i couples left via cond[i-1]
+            ab[0, 1] = 0.0           # top Dirichlet row has no coupling
+            ab[2, -2] = 0.0          # bottom Dirichlet row has no coupling
+
+            delta = solve_banded((1, 1), ab, -f)
+            step = np.clip(delta, -self.MAX_UPDATE, self.MAX_UPDATE)
+            psi += step
+            residual = float(np.max(np.abs(delta)))
+            if residual < self.TOLERANCE:
+                return self._package(psi, v_channel, cond, iteration)
+
+        raise ConvergenceError(
+            f"Poisson1D failed at v_gate={v_gate:.3f} V, "
+            f"v_channel={v_channel:.3f} V",
+            iterations=self.MAX_ITERATIONS, residual=residual)
+
+    def _carriers(self, psi: np.ndarray, v_channel: float):
+        """Densities and their derivatives w.r.t. psi."""
+        n = boltzmann_n(psi, v_channel, self.ni, self.vt)
+        p = boltzmann_p(psi, 0.0, self.ni, self.vt)
+        if self.use_fermi_correction:
+            n = n * fermi_correction(n, SILICON.nc)
+            p = p * fermi_correction(p, SILICON.nv)
+        dn = n / self.vt
+        dp = -p / self.vt
+        return n, p, dn, dp
+
+    def _package(self, psi: np.ndarray, v_channel: float,
+                 cond: np.ndarray, iterations: int) -> PoissonSolution:
+        n, p, _, _ = self._carriers(psi, v_channel)
+        film = self._film_mask
+        q_inv = float(Q * np.sum(n * self._volumes * film))
+        # cond[0] * (psi0 - psi1) is eps_ox * E_ox = displacement [C/m^2].
+        q_gate = float(cond[0] * (psi[0] - psi[1]))
+        return PoissonSolution(
+            psi=psi.copy(),
+            x=self.mesh.x.copy(),
+            q_inv=q_inv,
+            q_gate=q_gate,
+            surface_potential=float(psi[self._surface_index]),
+            iterations=iterations,
+        )
+
+    def inversion_charge(self, v_gate: float, v_channel: float = 0.0,
+                         psi0: Optional[np.ndarray] = None) -> float:
+        """Sheet inversion charge [C/m^2] at a bias point."""
+        return self.solve(v_gate, v_channel, psi0=psi0).q_inv
+
+    def gate_capacitance(self, v_gate: float, delta: float = 2e-3) -> float:
+        """Small-signal gate capacitance per area [F/m^2] by central
+        differencing of the gate charge."""
+        hi = self.solve(v_gate + delta)
+        lo = self.solve(v_gate - delta)
+        return (hi.q_gate - lo.q_gate) / (2.0 * delta)
+
+    def oxide_capacitance(self) -> float:
+        """Front-oxide parallel-plate capacitance per area [F/m^2]."""
+        return SILICON_DIOXIDE.permittivity / self.stack.t_ox

@@ -1,0 +1,110 @@
+"""Sweep drivers producing the characteristics the extraction flow needs.
+
+Reproduces the paper's TCAD measurement plan (Section III-B):
+
+* Low-drain Id-Vg at V_DS = 0.05 V,
+* High-drain Id-Vg at V_DS = 1.0 V,
+* Id-Vd families for V_GS = 0.4 .. 1.0 V,
+* C-V (gate capacitance vs gate voltage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.tcad.characteristics import CVCurve, IdVdFamily, IVCurve
+from repro.tcad.device import DeviceDesign
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Bias plan for characterising one device.
+
+    Defaults mirror the paper: V_DS,lin = 0.05 V, V_DS,sat = 1.0 V,
+    gate biases 0.4-1.0 V for the output family, 1 V supply.
+    """
+
+    vg_start: float = 0.0
+    vg_stop: float = 1.0
+    vg_points: int = 21
+    vds_lin: float = 0.05
+    vds_sat: float = 1.0
+    vd_points: int = 17
+    idvd_gate_biases: tuple = (0.4, 0.6, 0.8, 1.0)
+    cv_points: int = 21
+
+    def __post_init__(self) -> None:
+        if self.vg_stop <= self.vg_start:
+            raise SimulationError("vg_stop must exceed vg_start")
+        if min(self.vg_points, self.vd_points, self.cv_points) < 3:
+            raise SimulationError("sweeps need at least 3 points")
+        if self.vds_lin <= 0 or self.vds_sat <= 0:
+            raise SimulationError("drain biases must be positive")
+
+    @property
+    def vg_axis(self) -> np.ndarray:
+        """Gate-voltage axis [V]."""
+        return np.linspace(self.vg_start, self.vg_stop, self.vg_points)
+
+    @property
+    def vd_axis(self) -> np.ndarray:
+        """Drain-voltage axis [V].
+
+        Starts at the linear-region bias (0.05 V, the paper's V_DS,lin)
+        rather than 0: below that the currents are noise-level in a real
+        extraction and would dominate a relative-error metric.
+        """
+        return np.linspace(self.vds_lin, self.vds_sat, self.vd_points)
+
+
+class TcadSimulator:
+    """Runs the standard sweep plan on a :class:`DeviceDesign`.
+
+    All outputs are magnitude-space (|I| vs |V|); the device handles
+    polarity internally.
+    """
+
+    def __init__(self, device: DeviceDesign, spec: Optional[SweepSpec] = None):
+        self.device = device
+        self.spec = spec or SweepSpec()
+
+    def id_vg(self, vds: float) -> IVCurve:
+        """Transfer curve |I_D|(|V_GS|) at fixed |V_DS|."""
+        if vds <= 0:
+            raise SimulationError(f"vds must be positive, got {vds}")
+        vg = self.spec.vg_axis
+        currents = np.array(
+            [self.device.ids_magnitude(float(v), vds) for v in vg])
+        return IVCurve(vg, currents, vds, "idvg",
+                       f"{self.device.label}:idvg@{vds:g}V")
+
+    def id_vg_linear(self) -> IVCurve:
+        """Low-drain transfer curve (V_DS = 0.05 V in the paper)."""
+        return self.id_vg(self.spec.vds_lin)
+
+    def id_vg_saturation(self) -> IVCurve:
+        """High-drain transfer curve (V_DS = 1.0 V in the paper)."""
+        return self.id_vg(self.spec.vds_sat)
+
+    def id_vd(self) -> IdVdFamily:
+        """Output family over the paper's V_GS = 0.4-1.0 V biases."""
+        vd = self.spec.vd_axis
+        curves: List[IVCurve] = []
+        for vgs in self.spec.idvd_gate_biases:
+            currents = np.array(
+                [self.device.ids_magnitude(float(vgs), float(v)) for v in vd])
+            curves.append(IVCurve(vd, currents, float(vgs), "idvd",
+                                  f"{self.device.label}:idvd@vg={vgs:g}V"))
+        return IdVdFamily(curves, f"{self.device.label}:idvd")
+
+    def cv(self) -> CVCurve:
+        """Gate C-V at V_DS = 0 over the gate axis."""
+        vg = np.linspace(self.spec.vg_start, self.spec.vg_stop,
+                         self.spec.cv_points)
+        caps = np.array(
+            [self.device.gate_capacitance(float(v)) for v in vg])
+        return CVCurve(vg, caps, f"{self.device.label}:cv")

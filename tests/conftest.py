@@ -1,0 +1,71 @@
+"""Shared fixtures.
+
+Expensive artefacts (TCAD characterisation, extraction, cell transients)
+are session-scoped and shared across test modules; everything else is
+cheap enough to build per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells.variants import DeviceVariant, extracted_model_set
+from repro.extraction.flow import ExtractionFlow
+from repro.extraction.targets import cached_targets
+from repro.geometry.process import DEFAULT_PROCESS
+from repro.geometry.transistor_layout import ChannelCount
+from repro.tcad.device import Polarity, design_for_variant
+
+
+@pytest.fixture(scope="session")
+def process():
+    """The paper's Table I process."""
+    return DEFAULT_PROCESS
+
+
+@pytest.fixture(scope="session")
+def nmos_traditional():
+    """Traditional 2-D FDSOI NMOS device design."""
+    return design_for_variant(ChannelCount.TRADITIONAL, Polarity.NMOS)
+
+
+@pytest.fixture(scope="session")
+def pmos_traditional():
+    """Traditional 2-D FDSOI PMOS device design."""
+    return design_for_variant(ChannelCount.TRADITIONAL, Polarity.PMOS)
+
+
+@pytest.fixture(scope="session")
+def nmos_targets():
+    """TCAD characterisation of the traditional NMOS (cached)."""
+    return cached_targets(ChannelCount.TRADITIONAL, Polarity.NMOS)
+
+
+@pytest.fixture(scope="session")
+def pmos_targets():
+    """TCAD characterisation of the traditional PMOS (cached)."""
+    return cached_targets(ChannelCount.TRADITIONAL, Polarity.PMOS)
+
+
+@pytest.fixture(scope="session")
+def extracted_nmos(nmos_targets):
+    """Extraction result for the traditional NMOS."""
+    return ExtractionFlow().run(nmos_targets)
+
+
+@pytest.fixture(scope="session")
+def extracted_pmos(pmos_targets):
+    """Extraction result for the traditional PMOS."""
+    return ExtractionFlow().run(pmos_targets)
+
+
+@pytest.fixture(scope="session")
+def model_set_2d():
+    """Extracted (nmos, pmos) models of the 2-D baseline."""
+    return extracted_model_set(DeviceVariant.TWO_D)
+
+
+@pytest.fixture(scope="session")
+def model_set_2ch():
+    """Extracted (nmos, pmos) models of the 2-channel variant."""
+    return extracted_model_set(DeviceVariant.MIV_2CH)

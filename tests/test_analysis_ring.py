@@ -1,0 +1,77 @@
+"""Ring-oscillator extension study."""
+
+import pytest
+
+from repro.analysis.ring_oscillator import (
+    build_ring_oscillator,
+    measure_ring_frequency,
+)
+from repro.cells.variants import DeviceVariant
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def ro_2d():
+    return measure_ring_frequency(DeviceVariant.TWO_D)
+
+
+@pytest.fixture(scope="module")
+def ro_2ch():
+    return measure_ring_frequency(DeviceVariant.MIV_2CH)
+
+
+def test_ring_build_validation():
+    with pytest.raises(SimulationError):
+        build_ring_oscillator(DeviceVariant.TWO_D, n_stages=4)
+    with pytest.raises(SimulationError):
+        build_ring_oscillator(DeviceVariant.TWO_D, n_stages=1)
+
+
+def test_ring_circuit_structure():
+    circuit = build_ring_oscillator(DeviceVariant.TWO_D, n_stages=5)
+    fets = [e for e in circuit if e.name.startswith("M")]
+    assert len(fets) == 10
+    circuit.validate()
+
+
+def test_ring_oscillates_ghz_range(ro_2d):
+    assert 1e9 < ro_2d.frequency < 1e11
+    assert ro_2d.n_stages == 5
+
+
+def test_stage_delay_consistent_with_period(ro_2d):
+    assert ro_2d.stage_delay == pytest.approx(
+        ro_2d.period / (2 * ro_2d.n_stages))
+
+
+def test_stage_delay_ps_scale(ro_2d):
+    # 1 fF-loaded inverters: a few ps per stage.
+    assert 2e-12 < ro_2d.stage_delay < 20e-12
+
+
+def test_ring_frequencies_same_regime(ro_2d, ro_2ch):
+    """Both rings oscillate in the same GHz regime.
+
+    The ring's self-generated (slow) slews interact with the MIV
+    variants' asymmetric (n-only) threshold shift, so the per-variant
+    ordering differs from the driven-edge Figure 5(a) deltas — see the
+    module docstring and EXPERIMENTS.md.  The invariant we hold is that
+    the frequencies stay within ~35% of each other.
+    """
+    ratio = ro_2ch.frequency / ro_2d.frequency
+    assert 0.65 < ratio < 1.5
+
+
+def test_4ch_ring_not_fastest(ro_2d):
+    """The weakest-drive (4-channel) device never wins the ring race."""
+    from repro.analysis.ring_oscillator import measure_ring_frequency
+    ro_4ch = measure_ring_frequency(DeviceVariant.MIV_4CH)
+    assert ro_4ch.frequency <= ro_2d.frequency * 1.02
+
+
+def test_full_swing_oscillation(ro_2d):
+    wf = ro_2d.result.waveform("n0")
+    half = ro_2d.result.times[-1] / 2
+    steady = wf.window(half, ro_2d.result.times[-1])
+    assert steady.maximum() > 0.9
+    assert steady.minimum() < 0.1

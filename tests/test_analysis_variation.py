@@ -1,0 +1,67 @@
+"""Process-corner / Monte-Carlo robustness study."""
+
+import pytest
+
+from repro.analysis.variation import (
+    STANDARD_CORNERS,
+    ProcessCorner,
+    advantage_yield,
+    corner_drive_study,
+    drive_ratios,
+    monte_carlo_drive,
+)
+from repro.errors import SimulationError
+from repro.geometry.process import DEFAULT_PROCESS
+from repro.geometry.transistor_layout import ChannelCount
+
+
+def test_corner_apply():
+    corner = ProcessCorner("x", t_si_scale=0.9, l_gate_scale=1.1)
+    process = corner.apply(DEFAULT_PROCESS)
+    assert process.t_si == pytest.approx(0.9 * DEFAULT_PROCESS.t_si)
+    assert process.l_gate == pytest.approx(1.1 * DEFAULT_PROCESS.l_gate)
+    assert process.t_ox == DEFAULT_PROCESS.t_ox
+
+
+def test_standard_corners_include_nominal():
+    assert STANDARD_CORNERS[0].name == "nominal"
+    nominal = STANDARD_CORNERS[0].apply(DEFAULT_PROCESS)
+    assert nominal.t_si == DEFAULT_PROCESS.t_si
+
+
+def test_nominal_drive_ratios_match_calibration():
+    result = drive_ratios(DEFAULT_PROCESS)
+    assert result.ratios[ChannelCount.TRADITIONAL] == pytest.approx(1.0)
+    assert 1.02 < result.ratios[ChannelCount.ONE] < 1.12
+    assert 0.85 < result.ratios[ChannelCount.FOUR] < 0.99
+    assert result.miv_advantage_holds
+
+
+def test_advantage_holds_across_standard_corners():
+    """The extension claim: the qualitative MIV-transistor finding is
+    robust to +-5..10% geometry corners."""
+    results = corner_drive_study()
+    assert len(results) == len(STANDARD_CORNERS)
+    assert advantage_yield(results) == 1.0
+
+
+def test_monte_carlo_sampling_reproducible():
+    a = monte_carlo_drive(n_samples=3, seed=7)
+    b = monte_carlo_drive(n_samples=3, seed=7)
+    for ra, rb in zip(a, b):
+        for variant in ra.ratios:
+            assert ra.ratios[variant] == pytest.approx(rb.ratios[variant])
+
+
+def test_monte_carlo_yield_high():
+    results = monte_carlo_drive(n_samples=6, sigma=0.02, seed=11)
+    assert advantage_yield(results) >= 5 / 6
+
+
+def test_monte_carlo_validation():
+    with pytest.raises(SimulationError):
+        monte_carlo_drive(n_samples=0)
+    with pytest.raises(SimulationError):
+        monte_carlo_drive(sigma=0.5)
+    with pytest.raises(SimulationError):
+        advantage_yield([])

@@ -1,0 +1,80 @@
+"""Liberty-lite characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.cells.library import get_cell
+from repro.cells.liberty import (
+    CharacterizationGrid,
+    TimingTable,
+    characterize_cell,
+    render_liberty,
+)
+from repro.errors import CellLibraryError
+
+
+@pytest.fixture(scope="module")
+def inv_char(model_set_2d):
+    grid = CharacterizationGrid(slews=(1e-11, 4e-11),
+                                loads=(0.5e-15, 2e-15))
+    return characterize_cell(get_cell("INV1X1"), model_set_2d, grid)
+
+
+def test_grid_validation():
+    with pytest.raises(CellLibraryError):
+        CharacterizationGrid(slews=(), loads=(1e-15,))
+    with pytest.raises(CellLibraryError):
+        CharacterizationGrid(slews=(-1e-11,), loads=(1e-15,))
+
+
+def test_timing_table_interpolation():
+    table = TimingTable(slews=(1e-11, 3e-11), loads=(1e-15, 3e-15),
+                        values=np.array([[1.0, 3.0], [2.0, 4.0]]))
+    assert table.lookup(1e-11, 1e-15) == pytest.approx(1.0)
+    assert table.lookup(2e-11, 2e-15) == pytest.approx(2.5)
+    # clamped outside the grid
+    assert table.lookup(0.0, 0.0) == pytest.approx(1.0)
+    assert table.lookup(1.0, 1.0) == pytest.approx(4.0)
+
+
+def test_delay_increases_with_load(inv_char):
+    pin = inv_char.pins["a"]
+    for row in pin.delay.values:
+        assert row[-1] > row[0]
+
+
+def test_delay_values_ps_scale(inv_char):
+    assert np.all(inv_char.pins["a"].delay.values > 1e-12)
+    assert np.all(inv_char.pins["a"].delay.values < 1e-10)
+
+
+def test_transition_increases_with_load(inv_char):
+    pin = inv_char.pins["a"]
+    for row in pin.transition.values:
+        assert row[-1] > row[0]
+
+
+def test_input_capacitance_reasonable(inv_char):
+    cap = inv_char.input_caps["a"]
+    assert 5e-17 < cap < 2e-15
+
+
+def test_leakage_power_small_positive(inv_char):
+    assert 0.0 < inv_char.leakage_power < 1e-7
+
+
+def test_lookup_helper(inv_char):
+    mid = inv_char.delay_at("a", 2e-11, 1e-15)
+    lo = inv_char.delay_at("a", 1e-11, 0.5e-15)
+    hi = inv_char.delay_at("a", 4e-11, 2e-15)
+    assert lo < mid < hi
+
+
+def test_render_liberty(inv_char):
+    text = render_liberty([inv_char])
+    assert "library (repro_m3d)" in text
+    assert "cell (INV1X1__2D)" in text
+    assert "related_pin : \"a\"" in text
+    assert "index_1" in text and "values" in text
+    with pytest.raises(CellLibraryError):
+        render_liberty([])

@@ -1,0 +1,59 @@
+"""Implementation variants and extracted model sets."""
+
+import pytest
+
+from repro.cells.variants import DeviceVariant, extracted_model_set
+from repro.geometry.transistor_layout import ChannelCount
+from repro.tcad.device import Polarity
+
+
+def test_variant_device_mapping():
+    assert DeviceVariant.TWO_D.n_channel_count is ChannelCount.TRADITIONAL
+    assert DeviceVariant.MIV_1CH.n_channel_count is ChannelCount.ONE
+    assert DeviceVariant.MIV_2CH.n_channel_count is ChannelCount.TWO
+    assert DeviceVariant.MIV_4CH.n_channel_count is ChannelCount.FOUR
+
+
+def test_bottom_layer_always_traditional():
+    for variant in DeviceVariant:
+        assert variant.p_channel_count is ChannelCount.TRADITIONAL
+
+
+def test_uses_miv_gate():
+    assert not DeviceVariant.TWO_D.uses_miv_gate
+    assert DeviceVariant.MIV_2CH.uses_miv_gate
+
+
+def test_figure5_labels():
+    assert [v.value for v in DeviceVariant] == ["2D", "1-ch", "2-ch", "4-ch"]
+
+
+def test_model_set_polarities(model_set_2d):
+    assert model_set_2d.nmos.polarity is Polarity.NMOS
+    assert model_set_2d.pmos.polarity is Polarity.PMOS
+
+
+def test_model_set_cached():
+    a = extracted_model_set(DeviceVariant.TWO_D)
+    b = extracted_model_set(DeviceVariant.TWO_D)
+    assert a is b
+
+
+def test_pmos_shared_across_variants(model_set_2d, model_set_2ch):
+    # Same traditional PMOS physics: identical Ion.
+    i_2d = float(model_set_2d.pmos.ids_magnitude(1.0, 1.0))
+    i_2ch = float(model_set_2ch.pmos.ids_magnitude(1.0, 1.0))
+    assert i_2ch == pytest.approx(i_2d, rel=1e-6)
+
+
+def test_nmos_differs_across_variants(model_set_2d, model_set_2ch):
+    i_2d = float(model_set_2d.nmos.ids_magnitude(1.0, 1.0))
+    i_2ch = float(model_set_2ch.nmos.ids_magnitude(1.0, 1.0))
+    assert i_2ch > i_2d  # the 2-channel MIV-transistor drives harder
+
+
+def test_wrong_polarity_rejected(model_set_2d):
+    from repro.cells.variants import ModelSet
+    with pytest.raises(ValueError):
+        ModelSet(variant=DeviceVariant.TWO_D, nmos=model_set_2d.pmos,
+                 pmos=model_set_2d.pmos)

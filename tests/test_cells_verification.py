@@ -1,0 +1,56 @@
+"""SPICE-level truth-table verification of the whole library."""
+
+import pytest
+
+from repro.cells.library import CELL_NAMES, get_cell
+from repro.cells.variants import DeviceVariant
+from repro.cells.verification import (
+    HIGH_THRESHOLD,
+    LOW_THRESHOLD,
+    verify_cell,
+    verify_library,
+)
+
+
+@pytest.mark.parametrize("name", CELL_NAMES)
+def test_cell_truth_table_in_spice_2d(name, model_set_2d):
+    """Every cell's transistor netlist computes its boolean function."""
+    report = verify_cell(get_cell(name), model_set_2d)
+    assert report.passed, [
+        (row.inputs, row.expected, row.measured_voltage)
+        for row in report.failures]
+    assert len(report.rows) == 2 ** len(get_cell(name).inputs)
+
+
+@pytest.mark.parametrize("name", ["INV1X1", "NAND3X1", "XOR2X1", "MUX2X1"])
+def test_cell_truth_table_in_spice_2ch(name, model_set_2ch):
+    """Spot-check the MIV-transistor implementation too."""
+    report = verify_cell(get_cell(name), model_set_2ch)
+    assert report.passed
+
+
+def test_noise_margins_are_healthy(model_set_2d):
+    """Static CMOS at 1 fA-scale leakage: rails within a few mV."""
+    report = verify_cell(get_cell("NAND2X1"), model_set_2d)
+    assert report.worst_high() > 0.98
+    assert report.worst_low() < 0.02
+
+
+def test_report_metadata(model_set_2d):
+    report = verify_cell(get_cell("INV1X1"), model_set_2d)
+    assert report.cell_name == "INV1X1"
+    assert report.variant is DeviceVariant.TWO_D
+    assert report.rows[0].inputs == (False,)
+    assert report.rows[0].expected is True
+
+
+def test_verify_library_subset(model_set_2d):
+    reports = verify_library(DeviceVariant.TWO_D,
+                             cells=[get_cell("INV1X1"),
+                                    get_cell("NOR2X1")])
+    assert set(reports) == {"INV1X1", "NOR2X1"}
+    assert all(r.passed for r in reports.values())
+
+
+def test_thresholds_sane():
+    assert 0.0 < LOW_THRESHOLD < HIGH_THRESHOLD < 1.0

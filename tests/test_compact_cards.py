@@ -1,0 +1,70 @@
+""".model card render / parse round-trip."""
+
+import pytest
+
+from repro.compact.cards import (
+    card_roundtrip_equal,
+    parse_model_card,
+    render_model_card,
+)
+from repro.compact.model import BsimSoi4Lite
+from repro.compact.parameters import default_parameters
+from repro.errors import ExtractionError
+from repro.tcad.device import Polarity
+
+
+@pytest.fixture(scope="module")
+def model():
+    params = default_parameters().updated({"VTH0": 0.42, "U0": 0.037,
+                                           "VSAT": 1.1e5})
+    return BsimSoi4Lite(params=params, polarity=Polarity.NMOS,
+                        name="nch_test")
+
+
+def test_render_contains_header(model):
+    card = render_model_card(model)
+    assert card.startswith(".model nch_test nmos")
+    assert "level=70" in card
+    assert "vth0=0.42" in card
+
+
+def test_roundtrip_preserves_parameters(model):
+    parsed = parse_model_card(render_model_card(model))
+    equal, mismatch = card_roundtrip_equal(model, parsed, tol=1e-5)
+    assert equal, f"mismatch on {mismatch}"
+    assert parsed.name == "nch_test"
+
+
+def test_roundtrip_preserves_polarity():
+    pmodel = BsimSoi4Lite(params=default_parameters(),
+                          polarity=Polarity.PMOS, name="pch")
+    parsed = parse_model_card(render_model_card(pmodel))
+    assert parsed.polarity is Polarity.PMOS
+
+
+def test_roundtrip_preserves_geometry(model):
+    parsed = parse_model_card(render_model_card(model))
+    assert parsed.width == pytest.approx(model.width)
+    assert parsed.length == pytest.approx(model.length)
+
+
+def test_roundtrip_model_behaves_identically(model):
+    parsed = parse_model_card(render_model_card(model))
+    assert parsed.ids(0.9, 0.7) == pytest.approx(model.ids(0.9, 0.7),
+                                                 rel=1e-5)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ExtractionError):
+        parse_model_card("")
+    with pytest.raises(ExtractionError):
+        parse_model_card("not a model card")
+    with pytest.raises(ExtractionError):
+        parse_model_card(".model x nmos\nbroken line")
+
+
+def test_detect_parameter_difference(model):
+    other = model.with_params({"VTH0": 0.5})
+    equal, mismatch = card_roundtrip_equal(model, other)
+    assert not equal
+    assert mismatch == "VTH0"

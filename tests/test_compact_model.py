@@ -1,0 +1,140 @@
+"""BsimSoi4Lite facade: DC, capacitance, charges, batching, polarity."""
+
+import numpy as np
+import pytest
+
+from repro.compact.model import BsimSoi4Lite
+from repro.compact.parameters import default_parameters
+from repro.errors import SimulationError
+from repro.tcad.device import Polarity
+
+
+@pytest.fixture(scope="module")
+def nmos():
+    return BsimSoi4Lite(params=default_parameters(), polarity=Polarity.NMOS)
+
+
+@pytest.fixture(scope="module")
+def pmos():
+    return BsimSoi4Lite(params=default_parameters(), polarity=Polarity.PMOS)
+
+
+def test_cox_from_tox(nmos):
+    assert nmos.cox == pytest.approx(3.45e-2, rel=0.01)
+
+
+def test_ids_monotone_in_vgs(nmos):
+    vgs = np.linspace(0.0, 1.0, 11)
+    ids = nmos.ids_magnitude(vgs, 1.0)
+    assert np.all(np.diff(ids) > 0)
+
+
+def test_ids_monotone_in_vds(nmos):
+    vds = np.linspace(0.05, 1.0, 11)
+    ids = nmos.ids_magnitude(0.8, vds)
+    assert np.all(np.diff(ids) > 0)
+
+
+def test_on_off_ratio(nmos):
+    info = nmos.describe()
+    assert info["ion"] / info["ioff"] > 1e4
+
+
+def test_nmos_signs(nmos):
+    assert nmos.ids(1.0, 1.0) > 0
+    assert nmos.ids(1.0, -0.5) < 0  # reverse conduction
+
+
+def test_pmos_signs(pmos):
+    assert pmos.ids(-1.0, -1.0) < 0
+    assert pmos.ids(0.0, -1.0) == pytest.approx(
+        -pmos.ids_magnitude(0.0, 1.0), rel=1e-9)
+
+
+def test_pmos_mirror_symmetry(nmos, pmos):
+    assert pmos.ids(-0.8, -0.6) == pytest.approx(-nmos.ids(0.8, 0.6),
+                                                 rel=1e-12)
+
+
+def test_reverse_mode_source_drain_exchange(nmos):
+    # I(vgs, -vds) = -I(vgs + vds, vds).
+    assert nmos.ids(0.5, -0.4) == pytest.approx(-nmos.ids(0.9, 0.4),
+                                                rel=1e-9)
+
+
+def test_ids_batch_matches_scalar(nmos):
+    vgs = np.array([0.3, 0.8, 1.0, 0.5])
+    vds = np.array([1.0, 0.5, -0.3, 0.0])
+    batch = nmos.ids_batch(vgs, vds)
+    for i in range(4):
+        assert batch[i] == pytest.approx(nmos.ids(float(vgs[i]),
+                                                  float(vds[i])), rel=1e-9)
+
+
+def test_ids_batch_pmos(pmos):
+    vgs = np.array([-0.3, -0.8, -1.0])
+    vds = np.array([-1.0, -0.5, 0.2])
+    batch = pmos.ids_batch(vgs, vds)
+    for i in range(3):
+        assert batch[i] == pytest.approx(pmos.ids(float(vgs[i]),
+                                                  float(vds[i])), rel=1e-9)
+
+
+def test_cgg_monotone_rise(nmos):
+    vg = np.linspace(-0.2, 1.2, 29)
+    c = nmos.cgg(vg)
+    assert np.all(np.diff(c) >= -1e-21)
+    assert c[-1] > c[0] > 0
+
+
+def test_charges_sum_to_zero(nmos):
+    qg, qd, qs = nmos.charges(0.8, 0.5)
+    assert qg + qd + qs == pytest.approx(0.0, abs=1e-25)
+
+
+def test_charges_sum_to_zero_pmos(pmos):
+    qg, qd, qs = pmos.charges(-0.8, -0.5)
+    assert qg + qd + qs == pytest.approx(0.0, abs=1e-25)
+
+
+def test_gate_charge_increases_with_vgs(nmos):
+    qg1 = nmos.charges(0.2, 0.0)[0]
+    qg2 = nmos.charges(1.0, 0.0)[0]
+    assert qg2 > qg1
+
+
+def test_charges_batch_matches_scalar(nmos):
+    vgs = np.array([0.2, 0.6, 1.0])
+    vds = np.array([0.0, 0.4, 1.0])
+    qg_b, qd_b, qs_b = nmos.charges_batch(vgs, vds)
+    for i in range(3):
+        qg, qd, qs = nmos.charges(float(vgs[i]), float(vds[i]))
+        assert qg_b[i] == pytest.approx(qg, rel=1e-12)
+        assert qd_b[i] == pytest.approx(qd, rel=1e-12)
+        assert qs_b[i] == pytest.approx(qs, rel=1e-12)
+
+
+def test_with_params_functional(nmos):
+    raised = nmos.with_params({"VTH0": 0.6})
+    assert raised.p("VTH0") == pytest.approx(0.6)
+    assert nmos.p("VTH0") != 0.6
+    # higher threshold -> lower current
+    assert raised.ids_magnitude(1.0, 1.0) < nmos.ids_magnitude(1.0, 1.0)
+
+
+def test_vth_dibl(nmos):
+    assert float(nmos.vth(1.0)) < float(nmos.vth(0.05))
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(SimulationError):
+        BsimSoi4Lite(params=default_parameters(), width=0.0)
+
+
+def test_cgg_consistent_with_dqg_dvgs(nmos):
+    """Cgg(v) must equal dQg/dVgs at vds = 0 (model self-consistency)."""
+    v, dv = 0.7, 1e-5
+    qg1 = nmos.charges(v + dv, 0.0)[0]
+    qg0 = nmos.charges(v - dv, 0.0)[0]
+    assert (qg1 - qg0) / (2 * dv) == pytest.approx(float(nmos.cgg(v)),
+                                                   rel=1e-3)

@@ -1,0 +1,77 @@
+"""Bounded least-squares wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.compact.parameters import PARAMETER_SPECS, default_parameters
+from repro.errors import ExtractionError
+from repro.extraction.optimizer import fit_parameters
+
+
+def test_recovers_known_parameter():
+    base = default_parameters()
+    target = 0.52
+
+    def residuals(values):
+        return np.array([values["VTH0"] - target])
+
+    fitted, rms = fit_parameters(base, ["VTH0"], residuals)
+    assert fitted["VTH0"] == pytest.approx(target, abs=1e-5)
+    assert rms < 1e-5
+
+
+def test_respects_bounds():
+    base = default_parameters()
+
+    def residuals(values):
+        return np.array([values["VTH0"] - 100.0])  # unreachable target
+
+    fitted, _ = fit_parameters(base, ["VTH0"], residuals)
+    assert fitted["VTH0"] <= PARAMETER_SPECS["VTH0"].upper + 1e-12
+
+
+def test_multi_parameter_fit():
+    base = default_parameters()
+
+    def residuals(values):
+        return np.array([values["U0"] - 0.05,
+                         (values["VTH0"] - 0.3) * 10.0])
+
+    fitted, _ = fit_parameters(base, ["U0", "VTH0"], residuals)
+    assert fitted["U0"] == pytest.approx(0.05, rel=1e-3)
+    assert fitted["VTH0"] == pytest.approx(0.3, rel=1e-3)
+
+
+def test_scaled_parameters_fit_well():
+    # UB spans ~1e-18 — the normalisation must make it reachable.
+    base = default_parameters()
+    target = 3e-17
+
+    def residuals(values):
+        return np.array([(values["UB"] - target) / 1e-17])
+
+    fitted, _ = fit_parameters(base, ["UB"], residuals)
+    assert fitted["UB"] == pytest.approx(target, rel=1e-2)
+
+
+def test_nonfinite_residuals_penalised_not_crashing():
+    base = default_parameters()
+
+    def residuals(values):
+        if values["VTH0"] > 0.5:
+            return np.array([np.nan])
+        return np.array([values["VTH0"] - 0.4])
+
+    fitted, _ = fit_parameters(base, ["VTH0"], residuals)
+    assert np.isfinite(fitted["VTH0"])
+
+
+def test_empty_names_rejected():
+    with pytest.raises(ExtractionError):
+        fit_parameters(default_parameters(), [], lambda v: np.zeros(1))
+
+
+def test_unknown_names_rejected():
+    with pytest.raises(ExtractionError):
+        fit_parameters(default_parameters(), ["NOPE"],
+                       lambda v: np.zeros(1))

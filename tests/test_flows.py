@@ -1,0 +1,43 @@
+"""End-to-end flow smoke test (single cell to keep runtime bounded)."""
+
+import pytest
+
+from repro.cells.variants import DeviceVariant
+from repro.flows.full_flow import FullFlowResult, run_full_flow
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    return run_full_flow(cell_names=["INV1X1"])
+
+
+def test_flow_bundles_all_artefacts(flow_result):
+    assert flow_result.extraction.max_error() < 10.0
+    assert flow_result.ppa.cell_names == ["INV1X1"]
+    assert "INV1X1" in flow_result.areas.layouts
+
+
+def test_flow_extraction_covers_all_devices(flow_result):
+    # 4 variants x 2 polarities.
+    assert len(flow_result.extraction.devices) == 8
+
+
+def test_flow_ppa_has_all_variants(flow_result):
+    for variant in DeviceVariant:
+        assert flow_result.ppa.value("INV1X1", variant, "delay") > 0
+
+
+def test_headline_keys(flow_result):
+    headline = flow_result.headline()
+    assert headline["max_extraction_error_percent"] < 10.0
+    assert headline["area_reduction_2ch_percent"] > 10.0
+    assert isinstance(flow_result, FullFlowResult)
+
+
+def test_inverter_trends(flow_result):
+    delay_2ch = flow_result.ppa.change_percent(
+        "INV1X1", DeviceVariant.MIV_2CH, "delay")
+    area_2ch = flow_result.ppa.change_percent(
+        "INV1X1", DeviceVariant.MIV_2CH, "area")
+    assert delay_2ch < 0
+    assert area_2ch < -10

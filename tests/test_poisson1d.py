@@ -1,0 +1,112 @@
+"""Vertical Poisson solver: analytic limits and device behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.materials import SILICON_DIOXIDE
+from repro.tcad.poisson1d import Poisson1D, StackSpec
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return Poisson1D(StackSpec(t_ox=1e-9, t_si=7e-9, t_box=100e-9,
+                               flatband=0.0))
+
+
+def test_flat_potential_at_zero_bias_is_near_zero(solver):
+    sol = solver.solve(0.0)
+    # Undoped film, zero flatband: potential stays within tens of mV.
+    assert np.max(np.abs(sol.psi)) < 0.1
+
+
+def test_boundary_conditions(solver):
+    sol = solver.solve(0.7)
+    assert sol.psi[0] == pytest.approx(0.7)
+    assert sol.psi[-1] == pytest.approx(0.0)
+
+
+def test_inversion_charge_increases_with_gate_voltage(solver):
+    charges = [solver.inversion_charge(v) for v in (0.2, 0.5, 0.8, 1.1)]
+    assert all(q2 > q1 for q1, q2 in zip(charges, charges[1:]))
+
+
+def test_subthreshold_charge_is_exponential(solver):
+    # In weak inversion, Q doubles every vt*ln2 of gate voltage.
+    q1 = solver.inversion_charge(0.05)
+    q2 = solver.inversion_charge(0.05 + solver.vt * np.log(10))
+    assert q2 / q1 == pytest.approx(10.0, rel=0.1)
+
+
+def test_strong_inversion_slope_approaches_cox(solver):
+    # dQ/dVg -> Cox (series with inversion-layer cap, so slightly less).
+    cox = solver.oxide_capacitance()
+    q1 = solver.inversion_charge(1.0)
+    q2 = solver.inversion_charge(1.05)
+    slope = (q2 - q1) / 0.05
+    assert 0.5 * cox < slope < cox
+
+
+def test_channel_potential_reduces_charge(solver):
+    q0 = solver.inversion_charge(0.8, 0.0)
+    q1 = solver.inversion_charge(0.8, 0.3)
+    assert q1 < q0
+
+
+def test_gate_capacitance_limits(solver):
+    cox = solver.oxide_capacitance()
+    c_strong = solver.gate_capacitance(1.1)
+    c_weak = solver.gate_capacitance(-0.3)
+    assert c_strong > 0.5 * cox
+    assert c_strong < cox * 1.01
+    # Fully-depleted film in weak inversion: series Cox + film + BOX cap
+    # is far below Cox.
+    assert c_weak < 0.2 * cox
+
+
+def test_oxide_capacitance_value(solver):
+    expected = SILICON_DIOXIDE.permittivity / 1e-9
+    assert solver.oxide_capacitance() == pytest.approx(expected)
+
+
+def test_flatband_shifts_charge_onset():
+    shifted = Poisson1D(StackSpec(t_ox=1e-9, t_si=7e-9, t_box=100e-9,
+                                  flatband=0.2))
+    base = Poisson1D(StackSpec(t_ox=1e-9, t_si=7e-9, t_box=100e-9,
+                               flatband=0.0))
+    # Same charge at vg and vg + flatband.
+    assert shifted.inversion_charge(0.7) == pytest.approx(
+        base.inversion_charge(0.5), rel=1e-3)
+
+
+def test_warm_start_converges_faster(solver):
+    cold = solver.solve(0.9)
+    warm = solver.solve(0.91, psi0=cold.psi)
+    assert warm.iterations <= cold.iterations
+
+
+def test_thinner_oxide_gives_more_charge():
+    thin = Poisson1D(StackSpec(t_ox=0.8e-9, t_si=7e-9, t_box=100e-9))
+    thick = Poisson1D(StackSpec(t_ox=1.2e-9, t_si=7e-9, t_box=100e-9))
+    assert thin.inversion_charge(0.9) > thick.inversion_charge(0.9)
+
+
+def test_surface_potential_tracks_gate_in_depletion(solver):
+    s1 = solver.solve(0.1).surface_potential
+    s2 = solver.solve(0.3).surface_potential
+    assert s2 > s1
+
+
+def test_back_bias_influences_charge(solver):
+    # Positive back-plane bias helps the (n-type) channel: more charge.
+    q0 = solver.solve(0.4, 0.0, v_back=0.0).q_inv
+    q1 = solver.solve(0.4, 0.0, v_back=1.0).q_inv
+    assert q1 > q0
+
+
+def test_convergence_error_carries_diagnostics():
+    bad = Poisson1D(StackSpec(t_ox=1e-9, t_si=7e-9, t_box=100e-9))
+    bad.MAX_ITERATIONS = 1
+    with pytest.raises(ConvergenceError) as err:
+        bad.solve(1.0)
+    assert err.value.iterations == 1

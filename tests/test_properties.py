@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact.model import BsimSoi4Lite
+from repro.compact.parameters import default_parameters
+from repro.compact.subthreshold import effective_overdrive, soft_plus
+from repro.geometry.primitives import Rect
+from repro.spice.elements.vsource import PulseSpec
+from repro.spice.waveform import Waveform
+from repro.tcad.device import Polarity
+
+voltages = st.floats(min_value=-1.2, max_value=1.2, allow_nan=False)
+pos_voltages = st.floats(min_value=0.0, max_value=1.2, allow_nan=False)
+
+_MODEL = BsimSoi4Lite(params=default_parameters(), polarity=Polarity.NMOS)
+
+
+@given(vgs=pos_voltages, vds=pos_voltages)
+@settings(max_examples=60, deadline=None)
+def test_ids_nonnegative_forward(vgs, vds):
+    # -1e-20 A tolerance: the smooth Vdseff clamp can leave a numerical
+    # zero of either sign at vds = 0.
+    assert _MODEL.ids(vgs, vds) >= -1e-20
+
+
+@given(vgs=voltages, vds=voltages)
+@settings(max_examples=60, deadline=None)
+def test_source_drain_exchange_antisymmetry(vgs, vds):
+    """I(vgs, vds) = -I(vgd, -vds) — the fundamental symmetry."""
+    forward = _MODEL.ids(vgs, vds)
+    exchanged = _MODEL.ids(vgs - vds, -vds)
+    assert np.isclose(forward, -exchanged, rtol=1e-9, atol=1e-21)
+
+
+@given(vgs1=pos_voltages, vgs2=pos_voltages, vds=pos_voltages)
+@settings(max_examples=60, deadline=None)
+def test_ids_monotone_in_vgs(vgs1, vgs2, vds):
+    lo, hi = sorted((vgs1, vgs2))
+    assert _MODEL.ids(hi, vds) >= _MODEL.ids(lo, vds) - 1e-21
+
+
+@given(vgs=pos_voltages, vds1=pos_voltages, vds2=pos_voltages)
+@settings(max_examples=60, deadline=None)
+def test_ids_monotone_in_vds(vgs, vds1, vds2):
+    lo, hi = sorted((vds1, vds2))
+    assert _MODEL.ids(vgs, hi) >= _MODEL.ids(vgs, lo) - 1e-21
+
+
+@given(vgs=voltages, vds=voltages)
+@settings(max_examples=60, deadline=None)
+def test_charges_conserve(vgs, vds):
+    qg, qd, qs = _MODEL.charges(vgs, vds)
+    assert abs(qg + qd + qs) < 1e-24
+
+
+@given(x=st.floats(min_value=-50, max_value=50),
+       scale=st.floats(min_value=1e-3, max_value=10.0))
+@settings(max_examples=80, deadline=None)
+def test_soft_plus_bounds(x, scale):
+    """soft_plus is positive and above max(x, 0) by at most scale*ln2."""
+    value = float(soft_plus(np.array(x), scale))
+    assert value > 0.0
+    assert value >= max(x, 0.0) - 1e-12
+    assert value <= max(x, 0.0) + scale * np.log(2.0) + 1e-9
+
+
+@given(vth=st.floats(min_value=0.1, max_value=0.6),
+       n=st.floats(min_value=1.0, max_value=2.0),
+       v1=voltages, v2=voltages)
+@settings(max_examples=80, deadline=None)
+def test_overdrive_monotone(vth, n, v1, v2):
+    lo, hi = sorted((v1, v2))
+    o_lo = float(effective_overdrive(lo, vth, n, 0.0257))
+    o_hi = float(effective_overdrive(hi, vth, n, 0.0257))
+    assert o_hi >= o_lo
+
+
+@given(x0=st.floats(-1e-6, 1e-6), y0=st.floats(-1e-6, 1e-6),
+       w=st.floats(1e-9, 1e-6), h=st.floats(1e-9, 1e-6),
+       margin=st.floats(0.0, 1e-7))
+@settings(max_examples=60, deadline=None)
+def test_rect_expansion_grows_area(x0, y0, w, h, margin):
+    rect = Rect(x0, y0, x0 + w, y0 + h)
+    grown = rect.expanded(margin)
+    assert grown.area >= rect.area
+    assert grown.contains(rect)
+
+
+@given(level=st.floats(0.05, 0.95))
+@settings(max_examples=40, deadline=None)
+def test_waveform_crossing_consistency(level):
+    """Every detected crossing interpolates back to the level."""
+    t = np.linspace(0.0, 1.0, 50)
+    v = 0.5 + 0.5 * np.sin(8 * t)
+    wf = Waveform(t, v)
+    for crossing in wf.crossings(level):
+        assert float(wf.value(crossing)) == np.float64(
+            np.clip(level, v.min(), v.max())) or abs(
+            float(wf.value(crossing)) - level) < 5e-3
+
+
+@given(delay=st.floats(0.0, 1e-9), rise=st.floats(1e-12, 1e-10),
+       width=st.floats(1e-10, 1e-9))
+@settings(max_examples=60, deadline=None)
+def test_pulse_bounded_by_levels(delay, rise, width):
+    spec = PulseSpec(v1=0.0, v2=1.0, delay=delay, rise=rise, fall=rise,
+                     width=width, period=2 * (width + 2 * rise) + 1e-10)
+    for t in np.linspace(0.0, 5e-9, 97):
+        value = spec.value(float(t))
+        assert -1e-12 <= value <= 1.0 + 1e-12
+
+
+@given(st.lists(st.floats(-1.0, 1.0), min_size=2, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_waveform_mean_bounded(values):
+    t = np.arange(len(values), dtype=float)
+    wf = Waveform(t, np.array(values))
+    assert min(values) - 1e-12 <= wf.mean() <= max(values) + 1e-12

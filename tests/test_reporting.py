@@ -1,0 +1,97 @@
+"""Tables, figures and paper reference data."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.extraction.results import ExtractionReport
+from repro.reporting.figures import fig4_curves, fig5_series, render_csv
+from repro.reporting.paper import (
+    FIG5_REFERENCE,
+    PAPER_REFERENCE,
+    TABLE3_REFERENCE,
+)
+from repro.reporting.tables import render_table1, render_table2, render_table3
+
+
+def test_table1_rows():
+    text = render_table1()
+    assert "t_Si [nm]\tSilicon Thickness\t7" in text
+    assert "L_G [nm]\tLength of Gate\t24" in text
+    assert "n_src [cm^-3]" in text
+
+
+def test_table2_rows():
+    text = render_table2()
+    assert "LEVEL\tSpice model selector\t70" in text
+    assert "SOIMOD" in text
+    assert "TNOM" in text
+
+
+def test_table3_render(extracted_nmos, extracted_pmos):
+    report = ExtractionReport([extracted_nmos, extracted_pmos])
+    text = render_table3(report)
+    assert "IDVG" in text and "CV" in text
+
+
+def test_fig4_panels(extracted_nmos):
+    panels = fig4_curves(extracted_nmos)
+    assert {"idvg_lin", "idvg_sat", "cv"} <= set(panels)
+    idvd_panels = [k for k in panels if k.startswith("idvd@")]
+    assert len(idvd_panels) == 4
+    for panel in panels.values():
+        assert panel["x"].shape == panel["tcad"].shape
+        assert np.all(np.isfinite(panel["spice"]))
+
+
+def test_fig4_spice_tracks_tcad(extracted_nmos):
+    panels = fig4_curves(extracted_nmos)
+    sat = panels["idvg_sat"]
+    # On-current within 20% — the Figure 4 overlay quality.
+    assert sat["spice"][-1] == pytest.approx(sat["tcad"][-1], rel=0.2)
+
+
+def test_fig5_series_structure():
+    from repro.cells.variants import DeviceVariant
+    from repro.ppa.runner import CellPPA
+    from repro.ppa.comparison import PpaComparison
+    rows = [CellPPA("INV1X1", v, 1e-11, 1e-6, 1e-14, 2e-14)
+            for v in DeviceVariant]
+    comp = PpaComparison.from_results(rows)
+    series = fig5_series(comp, "delay", scale=1e12)
+    assert series["cells"] == ["INV1X1"]
+    assert series["2D"] == [pytest.approx(10.0)]
+
+
+def test_render_csv():
+    text = render_csv({"x": [1, 2], "y": [3.5, 4.5]})
+    lines = text.splitlines()
+    assert lines[0] == "x,y"
+    assert lines[1] == "1,3.5"
+
+
+def test_render_csv_x_key_reorder():
+    text = render_csv({"y": [1], "x": [2]}, x_key="x")
+    assert text.splitlines()[0] == "x,y"
+    with pytest.raises(SimulationError):
+        render_csv({"y": [1]}, x_key="zz")
+
+
+def test_render_csv_validates_lengths():
+    with pytest.raises(SimulationError):
+        render_csv({"a": [1, 2], "b": [1]})
+
+
+def test_paper_reference_complete():
+    assert set(TABLE3_REFERENCE) == {"IDVG", "IDVD", "CV"}
+    for region in TABLE3_REFERENCE.values():
+        assert set(region) == {"FOUR", "TWO", "ONE", "TRADITIONAL"}
+    assert set(FIG5_REFERENCE) == {"delay", "power", "area"}
+    assert PAPER_REFERENCE["text"]["extraction_error_bound_percent"] == 10.0
+
+
+def test_paper_table3_all_below_bound():
+    for region in TABLE3_REFERENCE.values():
+        for device in region.values():
+            for value in device.values():
+                assert value < 10.0

@@ -1,0 +1,122 @@
+"""AC analysis: RC filter closed forms, capacitance probing, gains."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice import Capacitor, Circuit, Mosfet, Resistor, dc_source
+from repro.spice.ac import (
+    ac_analysis,
+    input_capacitance,
+    unity_gain_frequency,
+)
+
+
+def rc_lowpass(r=1e3, c=1e-12):
+    circuit = Circuit("lp")
+    circuit.add(dc_source("VIN", "in", "0", 0.0))
+    circuit.add(Resistor("R1", "in", "out", r))
+    circuit.add(Capacitor("C1", "out", "0", c))
+    return circuit
+
+
+def test_lowpass_matches_closed_form():
+    r, c = 1e3, 1e-12
+    circuit = rc_lowpass(r, c)
+    freqs = np.logspace(6, 10, 41)
+    result = ac_analysis(circuit, "VIN", freqs)
+    vout = result.voltage("out")
+    expected = 1.0 / (1.0 + 1j * 2 * np.pi * freqs * r * c)
+    assert np.allclose(vout, expected, rtol=1e-6)
+
+
+def test_corner_frequency_gain():
+    r, c = 1e3, 1e-12
+    f_corner = 1.0 / (2 * np.pi * r * c)
+    result = ac_analysis(rc_lowpass(r, c), "VIN", np.array([f_corner]))
+    gain = result.gain_db("out", "in")[0]
+    assert gain == pytest.approx(-3.0103, abs=0.01)
+
+
+def test_input_capacitance_of_pure_cap():
+    circuit = Circuit("c")
+    circuit.add(dc_source("VIN", "in", "0", 0.0))
+    circuit.add(Capacitor("C1", "in", "0", 2.5e-15))
+    measured = input_capacitance(circuit, "VIN")
+    assert measured == pytest.approx(2.5e-15, rel=1e-6)
+
+
+def test_input_capacitance_series_rc():
+    # At low frequency a series R barely matters.
+    circuit = Circuit("rc")
+    circuit.add(dc_source("VIN", "in", "0", 0.0))
+    circuit.add(Resistor("R1", "in", "x", 10.0))
+    circuit.add(Capacitor("C1", "x", "0", 1e-15))
+    measured = input_capacitance(circuit, "VIN", frequency=1e7)
+    assert measured == pytest.approx(1e-15, rel=1e-4)
+
+
+def test_inverter_input_capacitance_reasonable(model_set_2d):
+    circuit = Circuit("inv")
+    circuit.add(dc_source("VDD", "vdd", "0", 1.0))
+    circuit.add(dc_source("VIN", "in", "0", 0.5))
+    circuit.add(Mosfet("MP", "out", "in", "vdd", model_set_2d.pmos))
+    circuit.add(Mosfet("MN", "out", "in", "0", model_set_2d.nmos))
+    circuit.add(Capacitor("CL", "out", "0", 1e-15))
+    cin = input_capacitance(circuit, "VIN", frequency=1e7)
+    # two gates' worth of capacitance: between 0.05 and 2 fF.
+    assert 5e-17 < cin < 2e-15
+
+
+def test_other_sources_ac_grounded():
+    # With the excitation on VIN, a second DC source contributes nothing.
+    circuit = rc_lowpass()
+    circuit.add(Resistor("R2", "out", "x", 1e3))
+    circuit.add(dc_source("VB", "x", "0", 0.7))
+    result = ac_analysis(circuit, "VIN", np.array([1e6]))
+    assert abs(result.voltage("x")[0]) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_unity_gain_frequency_of_integrator_like_divider():
+    # Gain |1/(1+jwRC)| crosses 0 dB only asymptotically; build a gainy
+    # divider instead: out = 2x in via two sources? Use an RC with gain
+    # start above 0 dB by probing in->out of a 2:1 *boost* is impossible
+    # passively, so synthesise: measure crossing of a scaled waveform.
+    r, c = 1e3, 1e-12
+    circuit = rc_lowpass(r, c)
+    freqs = np.logspace(7, 11, 81)
+    result = ac_analysis(circuit, "VIN", freqs, magnitude=2.0)
+    # with 2 V excitation, |vout| starts at 2 (=> +6 dB vs the 1 V input
+    # reference node "in" is also 2 V...), so compare against ground-
+    # referenced half of the input instead:
+    gain = 20 * np.log10(np.abs(result.voltage("out")))
+    assert gain[0] > 0
+    crossing = np.nonzero(gain <= 0)[0]
+    assert crossing.size > 0
+
+
+def test_unity_gain_helper_errors():
+    circuit = rc_lowpass()
+    freqs = np.logspace(6, 7, 5)
+    result = ac_analysis(circuit, "VIN", freqs)
+    with pytest.raises(SimulationError):
+        unity_gain_frequency(result, "out", "in")  # never crosses
+
+
+def test_ac_validation():
+    circuit = rc_lowpass()
+    with pytest.raises(SimulationError):
+        ac_analysis(circuit, "VIN", np.array([]))
+    with pytest.raises(SimulationError):
+        ac_analysis(circuit, "VIN", np.array([-1.0]))
+    with pytest.raises(SimulationError):
+        ac_analysis(circuit, "R1", np.array([1e6]))
+
+
+def test_result_lookup_errors():
+    result = ac_analysis(rc_lowpass(), "VIN", np.array([1e6]))
+    with pytest.raises(SimulationError):
+        result.voltage("zz")
+    with pytest.raises(SimulationError):
+        result.current("VX")
+    assert np.all(result.voltage("0") == 0)

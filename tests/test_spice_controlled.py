@@ -1,0 +1,66 @@
+"""Controlled sources (VCVS / VCCS)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import Circuit, Resistor, dc_source, solve_dc
+from repro.spice.elements.controlled import Vccs, Vcvs
+
+
+def test_vcvs_amplifies():
+    c = Circuit()
+    c.add(dc_source("V1", "in", "0", 0.25))
+    c.add(Resistor("Rin", "in", "0", 1e6))
+    c.add(Vcvs("E1", "out", "0", "in", "0", gain=4.0))
+    c.add(Resistor("RL", "out", "0", 1e3))
+    op = solve_dc(c)
+    assert op.voltage("out") == pytest.approx(1.0, rel=1e-9)
+
+
+def test_vcvs_negative_gain():
+    c = Circuit()
+    c.add(dc_source("V1", "in", "0", 0.5))
+    c.add(Resistor("Rin", "in", "0", 1e6))
+    c.add(Vcvs("E1", "out", "0", "in", "0", gain=-2.0))
+    c.add(Resistor("RL", "out", "0", 1e3))
+    assert solve_dc(c).voltage("out") == pytest.approx(-1.0, rel=1e-9)
+
+
+def test_vcvs_drives_load_stiffly():
+    # Ideal VCVS output is independent of the load.
+    for load in (10.0, 1e6):
+        c = Circuit()
+        c.add(dc_source("V1", "in", "0", 0.5))
+        c.add(Resistor("Rin", "in", "0", 1e6))
+        c.add(Vcvs("E1", "out", "0", "in", "0", gain=2.0))
+        c.add(Resistor("RL", "out", "0", load))
+        assert solve_dc(c).voltage("out") == pytest.approx(1.0, rel=1e-9)
+
+
+def test_vccs_injects_current():
+    c = Circuit()
+    c.add(dc_source("V1", "in", "0", 1.0))
+    c.add(Resistor("Rin", "in", "0", 1e6))
+    # gm = 1 mS from ground into out: i = gm * v(in) = 1 mA out of 'out'.
+    c.add(Vccs("G1", "out", "0", "in", "0", transconductance=1e-3))
+    c.add(Resistor("RL", "out", "0", 1e3))
+    op = solve_dc(c)
+    # current flows out+ -> out-, pulling 'out' negative through RL
+    assert op.voltage("out") == pytest.approx(-1.0, rel=1e-9)
+
+
+def test_vccs_as_resistor():
+    # A VCCS controlled by its own terminals is a conductance.
+    c = Circuit()
+    c.add(dc_source("V1", "a", "0", 1.0))
+    c.add(Resistor("R1", "a", "b", 1e3))
+    c.add(Vccs("G1", "b", "0", "b", "0", transconductance=1e-3))
+    op = solve_dc(c)
+    assert op.voltage("b") == pytest.approx(0.5, rel=1e-6)
+
+
+def test_zero_gain_rejected():
+    with pytest.raises(NetlistError):
+        Vcvs("E1", "a", "0", "b", "0", gain=0.0)
+    with pytest.raises(NetlistError):
+        Vccs("G1", "a", "0", "b", "0", transconductance=0.0)

@@ -1,0 +1,141 @@
+"""SPICE deck parsing / serialisation round-trips."""
+
+import pytest
+
+from repro.cells.library import get_cell
+from repro.cells.netlist_builder import build_cell_circuit
+from repro.errors import NetlistError
+from repro.spice import Circuit, Resistor, dc_source, solve_dc
+from repro.spice.elements.vsource import PulseSpec, PwlSpec
+from repro.spice.parser import (
+    format_value,
+    parse_deck,
+    parse_value,
+    serialize_circuit,
+)
+
+
+# ---------------------------------------------------------------------------
+# values
+# ---------------------------------------------------------------------------
+def test_parse_plain_numbers():
+    assert parse_value("100") == 100.0
+    assert parse_value("-2.5") == -2.5
+    assert parse_value("1e-9") == 1e-9
+
+
+def test_parse_suffixes():
+    assert parse_value("1f") == pytest.approx(1e-15)
+    assert parse_value("25n") == pytest.approx(25e-9)
+    assert parse_value("3.3u") == pytest.approx(3.3e-6)
+    assert parse_value("2k") == pytest.approx(2e3)
+    assert parse_value("1MEG") == pytest.approx(1e6)
+    assert parse_value("7m") == pytest.approx(7e-3)
+
+
+def test_parse_bad_value():
+    with pytest.raises(NetlistError):
+        parse_value("abc")
+    with pytest.raises(NetlistError):
+        parse_value("1x")
+
+
+def test_format_value_roundtrip():
+    for value in (7.0, 3.0, 1e-15, 25e-9, 2.4e-9, 1e6, 0.0):
+        assert parse_value(format_value(value)) == pytest.approx(value)
+
+
+# ---------------------------------------------------------------------------
+# decks
+# ---------------------------------------------------------------------------
+def rc_deck():
+    return """
+* test rc
+V1 in 0 PULSE(0 1 100p 10p 10p 1n 2.4n)
+R1 in out 1k
+C1 out 0 1f
+.end
+"""
+
+
+def test_parse_rc_deck():
+    circuit = parse_deck(rc_deck())
+    assert len(circuit) == 3
+    assert circuit.element("R1").resistance == pytest.approx(1e3)
+    assert circuit.element("C1").capacitance == pytest.approx(1e-15)
+    source = circuit.element("V1")
+    assert isinstance(source.waveform, PulseSpec)
+    assert source.waveform.period == pytest.approx(2.4e-9)
+
+
+def test_parse_dc_and_pwl_sources():
+    deck = """
+Vdd vdd 0 DC 1.0
+Vin in 0 PWL(0 0 1n 1 2n 0)
+R1 vdd in 1k
+.end
+"""
+    circuit = parse_deck(deck)
+    assert circuit.element("Vdd").value(0.0) == 1.0
+    vin = circuit.element("Vin")
+    assert isinstance(vin.waveform, PwlSpec)
+    assert vin.value(0.5e-9) == pytest.approx(0.5)
+
+
+def test_comments_and_continuations():
+    deck = """
+* full-line comment
+R1 a 0 1k $ trailing comment
+R2 a
++ 0 2k
+V1 a 0 DC 1
+.end
+"""
+    circuit = parse_deck(deck)
+    assert circuit.element("R2").resistance == pytest.approx(2e3)
+
+
+def test_parse_errors():
+    with pytest.raises(NetlistError):
+        parse_deck("")
+    with pytest.raises(NetlistError):
+        parse_deck("Q1 a b c model\n.end\n")
+    with pytest.raises(NetlistError):
+        parse_deck("M1 d g s missing_model\n.end\n")
+    with pytest.raises(NetlistError):
+        parse_deck("V1 a 0 PULSE(0 1)\n.end\n")
+
+
+def test_serialize_simple_circuit():
+    c = Circuit("div")
+    c.add(dc_source("V1", "in", "0", 1.0))
+    c.add(Resistor("R1", "in", "out", 1e3))
+    c.add(Resistor("R2", "out", "0", 1e3))
+    deck = serialize_circuit(c)
+    assert "V1 in 0 DC 1" in deck
+    assert deck.strip().endswith(".end")
+
+
+def test_roundtrip_preserves_dc_solution():
+    c = Circuit("div")
+    c.add(dc_source("V1", "in", "0", 1.0))
+    c.add(Resistor("R1", "in", "out", 3e3))
+    c.add(Resistor("R2", "out", "0", 1e3))
+    again = parse_deck(serialize_circuit(c))
+    assert solve_dc(again).voltage("out") == pytest.approx(0.25, rel=1e-6)
+
+
+def test_cell_netlist_roundtrip(model_set_2d):
+    """A full generated cell deck survives serialise -> parse -> solve."""
+    netlist = build_cell_circuit(get_cell("NAND2X1"), model_set_2d)
+    netlist.circuit.element("Va").waveform = 1.0
+    netlist.circuit.element("Vb").waveform = 1.0
+    deck = serialize_circuit(netlist.circuit)
+    assert ".model" in deck
+
+    again = parse_deck(deck)
+    assert len(again) == len(netlist.circuit)
+    op_orig = solve_dc(netlist.circuit)
+    op_again = solve_dc(again)
+    assert op_again.voltage("out") == pytest.approx(
+        op_orig.voltage("out"), abs=1e-6)

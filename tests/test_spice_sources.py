@@ -1,0 +1,83 @@
+"""Source waveforms: DC, PULSE, PWL."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.elements.vsource import (
+    PulseSpec,
+    PwlSpec,
+    dc_source,
+    pulse_source,
+    pwl_source,
+)
+
+
+def test_dc_source_constant():
+    src = dc_source("V1", "a", "0", 0.7)
+    assert src.value(0.0) == 0.7
+    assert src.value(1e-6) == 0.7
+    assert src.breakpoints(1e-6) == []
+
+
+def test_pulse_levels():
+    spec = PulseSpec(v1=0.0, v2=1.0, delay=1e-9, rise=1e-10, fall=1e-10,
+                     width=2e-9, period=5e-9)
+    assert spec.value(0.0) == 0.0
+    assert spec.value(1e-9 + 5e-11) == pytest.approx(0.5)  # mid-rise
+    assert spec.value(2e-9) == 1.0                          # plateau
+    assert spec.value(1e-9 + 1e-10 + 2e-9 + 5e-11) == pytest.approx(0.5)
+    assert spec.value(4.5e-9) == 0.0                        # back low
+
+
+def test_pulse_periodicity():
+    spec = PulseSpec(v1=0.0, v2=1.0, delay=0.0, rise=1e-10, fall=1e-10,
+                     width=2e-9, period=5e-9)
+    assert spec.value(1e-9) == spec.value(1e-9 + 5e-9)
+
+
+def test_pulse_breakpoints_cover_edges():
+    spec = PulseSpec(v1=0.0, v2=1.0, delay=1e-9, rise=1e-10, fall=1e-10,
+                     width=2e-9, period=10e-9)
+    points = spec.breakpoints(5e-9)
+    assert 1e-9 in points
+    assert pytest.approx(1.1e-9) in points
+    assert pytest.approx(3.1e-9) in points
+
+
+def test_pulse_validation():
+    with pytest.raises(NetlistError):
+        PulseSpec(v1=0, v2=1, rise=0.0)
+    with pytest.raises(NetlistError):
+        PulseSpec(v1=0, v2=1, rise=1e-9, fall=1e-9, width=5e-9, period=2e-9)
+
+
+def test_pwl_interpolation():
+    spec = PwlSpec(((0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5)))
+    assert spec.value(0.5e-9) == pytest.approx(0.5)
+    assert spec.value(1.5e-9) == pytest.approx(0.75)
+
+
+def test_pwl_clamped_outside():
+    spec = PwlSpec(((1e-9, 0.2), (2e-9, 0.8)))
+    assert spec.value(0.0) == 0.2
+    assert spec.value(5e-9) == 0.8
+
+
+def test_pwl_validation():
+    with pytest.raises(NetlistError):
+        PwlSpec(())
+    with pytest.raises(NetlistError):
+        PwlSpec(((1e-9, 0.0), (1e-9, 1.0)))
+
+
+def test_pwl_breakpoints_window():
+    spec = PwlSpec(((0.0, 0.0), (1e-9, 1.0), (9e-9, 0.0)))
+    assert spec.breakpoints(5e-9) == [0.0, 1e-9]
+
+
+def test_factory_helpers():
+    pulse = pulse_source("VP", "a", "0", v1=0.0, v2=1.0)
+    assert pulse.value(0.0) == 0.0
+    pwl = pwl_source("VW", "a", "0", [(0.0, 0.1), (1e-9, 0.9)])
+    assert pwl.value(0.5e-9) == pytest.approx(0.5)
+    assert pwl.breakpoints(2e-9) == [0.0, 1e-9]

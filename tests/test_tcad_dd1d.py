@@ -1,0 +1,147 @@
+"""Drift-diffusion solver: analytic limits and S/D-resistance validation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import Q
+from repro.errors import MeshError
+from repro.tcad.dd1d import (
+    Bar1D,
+    DriftDiffusion1D,
+    bernoulli,
+    uniform_bar,
+)
+
+
+def test_bernoulli_limits():
+    assert bernoulli(np.array(0.0)) == pytest.approx(1.0)
+    assert bernoulli(np.array(1e-6)) == pytest.approx(1.0 - 5e-7, rel=1e-9)
+    # B(x) ~ x e^{-x} for large positive x -> 0; B(-x) ~ x.
+    assert bernoulli(np.array(50.0)) < 1e-18
+    assert bernoulli(np.array(-50.0)) == pytest.approx(50.0, rel=1e-9)
+
+
+def test_bernoulli_identity():
+    # B(-x) - B(x) = x.
+    for x in (0.1, 1.0, 5.0):
+        assert (bernoulli(np.array(-x)) -
+                bernoulli(np.array(x))) == pytest.approx(x, rel=1e-9)
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return DriftDiffusion1D(uniform_bar())
+
+
+def test_equilibrium_zero_current(solver):
+    solution = solver.solve(0.0)
+    assert abs(solution.current) < 1e-12
+
+
+def test_equilibrium_flat_potential_uniform_bar(solver):
+    solution = solver.solve(0.0)
+    assert np.ptp(solution.psi) < 1e-6  # uniform doping: no band bending
+
+
+def test_equilibrium_neutrality(solver):
+    solution = solver.solve(0.0)
+    assert np.allclose(solution.n, solver.nd, rtol=1e-3)
+
+
+def test_ohmic_conductance_matches_analytic(solver):
+    """Low-bias conductance of the bar = q mu N A / L."""
+    bar = solver.bar
+    expected = (Q * bar.mobility * solver.nd[0] * bar.area /
+                bar.length)
+    measured = 1.0 / solver.resistance(bias=2e-3)
+    assert measured == pytest.approx(expected, rel=0.02)
+
+
+def test_current_monotone_in_bias(solver):
+    biases = [0.01, 0.03, 0.06, 0.1]
+    currents = []
+    previous = None
+    for bias in biases:
+        previous = solver.solve(bias, initial=previous)
+        currents.append(previous.current)
+    assert all(b > a for a, b in zip(currents, currents[1:]))
+
+
+def test_current_sign_reverses(solver):
+    assert solver.solve(0.05).current * solver.solve(-0.05).current < 0
+
+
+def test_sd_extension_resistance_consistent_with_assumption():
+    """The DD-computed resistance of one S/D extension is the same
+    order as the silicided sheet-resistance assumption in
+    repro.tcad.device (~60 Ohm per side for half of l_src)."""
+    from repro.tcad.device import SD_SHEET_RESISTANCE
+    # Half of l_src (the current enters through the contact above).
+    bar = uniform_bar(length=24e-9)
+    dd_resistance = DriftDiffusion1D(bar).resistance()
+    assumed = SD_SHEET_RESISTANCE * (24e-9 / 192e-9)
+    # The unsilicided doped film is more resistive than the silicided
+    # assumption, but within the same couple of orders of magnitude.
+    assert assumed / 50 < dd_resistance < assumed * 50
+
+
+def _long_junction_bar():
+    """n+/n-/n+ with a 200 nm n- region, far longer than the ~13 nm
+    Debye length of the 1e17 cm^-3 middle, so spill-over is confined to
+    the junctions and the bulk analytic limits apply."""
+    def profile(x):
+        return 1e25 if (x < 100e-9 or x > 300e-9) else 1e23
+
+    return Bar1D(length=400e-9, area=1e-15, doping=profile, n_nodes=161)
+
+
+def test_n_plus_n_minus_junction_builds_barrier():
+    """The long n+/n-/n+ profile shows the full built-in potential dip."""
+    solver = DriftDiffusion1D(_long_junction_bar())
+    solution = solver.solve(0.0)
+    mid = solution.psi[len(solution.psi) // 2]
+    edge = solution.psi[2]
+    expected_dip = solver.vt * np.log(1e25 / 1e23)
+    assert edge - mid == pytest.approx(expected_dip, rel=0.1)
+
+
+def test_short_n_minus_region_shows_carrier_spillover():
+    """With the n- region shorter than a couple of Debye lengths, the
+    n+ carriers spill in and the dip shrinks — a genuinely 2-solver
+    physical effect the analytic bulk formula misses."""
+    def profile(x):
+        return 1e25 if (x < 16e-9 or x > 32e-9) else 1e23
+
+    solver = DriftDiffusion1D(Bar1D(length=48e-9, area=1e-15,
+                                    doping=profile, n_nodes=97))
+    solution = solver.solve(0.0)
+    n_mid = solution.n[len(solution.n) // 2]
+    assert n_mid > 3e23  # well above the 1e23 doping: spill-over
+
+
+def test_n_plus_n_minus_dominated_by_low_doped_region():
+    bar = _long_junction_bar()
+    uniform_high = Bar1D(length=400e-9, area=1e-15,
+                         doping=lambda _x: 1e25, n_nodes=161)
+    r_junction = DriftDiffusion1D(bar).resistance()
+    r_uniform = DriftDiffusion1D(uniform_high).resistance()
+    assert r_junction > 10 * r_uniform
+
+
+def test_validation_against_charge_sheet_philosophy(solver):
+    """Doubling the area halves the resistance (sanity of scaling)."""
+    bar2 = Bar1D(length=solver.bar.length, area=2 * solver.bar.area,
+                 doping=solver.bar.doping, mobility=solver.bar.mobility)
+    r1 = solver.resistance()
+    r2 = DriftDiffusion1D(bar2).resistance()
+    assert r2 == pytest.approx(r1 / 2, rel=0.02)
+
+
+def test_bar_validation():
+    with pytest.raises(MeshError):
+        Bar1D(length=0.0, area=1e-15, doping=lambda x: 1e25)
+    with pytest.raises(MeshError):
+        Bar1D(length=1e-8, area=1e-15, doping=lambda x: 1e25, n_nodes=3)
+    with pytest.raises(MeshError):
+        DriftDiffusion1D(Bar1D(length=1e-8, area=1e-15,
+                               doping=lambda x: 0.0))

@@ -1,0 +1,106 @@
+"""Figure-2 device layouts: width partitioning, MIV placement, edges."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.geometry.process import DEFAULT_PROCESS
+from repro.geometry.transistor_layout import (
+    ChannelCount,
+    layout_for_variant,
+)
+
+
+@pytest.fixture(scope="module", params=list(ChannelCount),
+                ids=lambda v: v.name.lower())
+def layout(request):
+    return layout_for_variant(request.param, DEFAULT_PROCESS)
+
+
+def test_equivalent_width_is_192nm(layout):
+    assert layout.total_width == pytest.approx(192e-9, rel=1e-6)
+
+
+def test_channel_width_partitioning():
+    expected = {ChannelCount.TRADITIONAL: 192e-9, ChannelCount.ONE: 192e-9,
+                ChannelCount.TWO: 96e-9, ChannelCount.FOUR: 48e-9}
+    for variant, width in expected.items():
+        built = layout_for_variant(variant, DEFAULT_PROCESS)
+        assert built.channel_width == pytest.approx(width)
+
+
+def test_channel_counts():
+    assert layout_for_variant(ChannelCount.TWO, DEFAULT_PROCESS).n_channels == 2
+    assert layout_for_variant(ChannelCount.FOUR,
+                              DEFAULT_PROCESS).n_channels == 4
+
+
+def test_four_channel_respects_min_active_width():
+    # Section III: the minimum active dimension is 48 nm.
+    built = layout_for_variant(ChannelCount.FOUR, DEFAULT_PROCESS)
+    assert built.channel_width >= 48e-9 - 1e-15
+
+
+def test_four_channel_below_min_width_rejected():
+    narrow = DEFAULT_PROCESS.with_updates(w_src=100e-9)
+    with pytest.raises(LayoutError):
+        layout_for_variant(ChannelCount.FOUR, narrow)
+
+
+def test_footprint_contains_all_regions(layout):
+    for region in layout.sd_regions + [layout.gate_region, layout.miv_rect]:
+        assert layout.footprint.contains(region)
+
+
+def test_miv_merging_shrinks_footprint_vs_traditional():
+    # Eliminating the keep-out zone shrinks the 1- and 2-channel devices;
+    # the 4-channel cross trades height for width (and a routing track).
+    areas = {v: layout_for_variant(v, DEFAULT_PROCESS).area
+             for v in ChannelCount}
+    assert areas[ChannelCount.ONE] < areas[ChannelCount.TRADITIONAL]
+    assert areas[ChannelCount.TWO] < areas[ChannelCount.ONE]
+
+
+def test_traditional_is_tallest():
+    heights = {v: layout_for_variant(v, DEFAULT_PROCESS).height
+               for v in ChannelCount}
+    assert heights[ChannelCount.TRADITIONAL] == max(heights.values())
+
+
+def test_miv_gate_variants_have_coupled_edges():
+    assert layout_for_variant(ChannelCount.TRADITIONAL,
+                              DEFAULT_PROCESS).miv_coupled_edges == 0
+    assert layout_for_variant(ChannelCount.ONE,
+                              DEFAULT_PROCESS).miv_coupled_edges == 1
+    assert layout_for_variant(ChannelCount.TWO,
+                              DEFAULT_PROCESS).miv_coupled_edges == 2
+    assert layout_for_variant(ChannelCount.FOUR,
+                              DEFAULT_PROCESS).miv_coupled_edges == 4
+
+
+def test_sd_region_counts():
+    # 2-channel: two sources + two drains; 4-channel: four regions.
+    assert len(layout_for_variant(ChannelCount.TWO,
+                                  DEFAULT_PROCESS).sd_regions) == 4
+    assert len(layout_for_variant(ChannelCount.FOUR,
+                                  DEFAULT_PROCESS).sd_regions) == 4
+    assert len(layout_for_variant(ChannelCount.ONE,
+                                  DEFAULT_PROCESS).sd_regions) == 2
+
+
+def test_only_four_channel_needs_extra_routing():
+    for variant in ChannelCount:
+        built = layout_for_variant(variant, DEFAULT_PROCESS)
+        expected = 1 if variant is ChannelCount.FOUR else 0
+        assert built.extra_routing_tracks == expected
+
+
+def test_uses_miv_gate_flag():
+    assert not ChannelCount.TRADITIONAL.uses_miv_gate
+    assert ChannelCount.ONE.uses_miv_gate
+    assert ChannelCount.TWO.uses_miv_gate
+    assert ChannelCount.FOUR.uses_miv_gate
+
+
+def test_sd_regions_do_not_overlap_gate(layout):
+    for region in layout.sd_regions:
+        assert not region.overlaps(layout.gate_region)

@@ -1,0 +1,59 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_nm_roundtrip():
+    assert units.to_nm(units.nm(24.0)) == pytest.approx(24.0)
+
+
+def test_nm_value():
+    assert units.nm(1.0) == pytest.approx(1e-9)
+
+
+def test_um_value():
+    assert units.um(2.0) == pytest.approx(2e-6)
+
+
+def test_per_cm3_conversion():
+    # 1e19 cm^-3 (Table I doping) = 1e25 m^-3.
+    assert units.per_cm3(1e19) == pytest.approx(1e25)
+
+
+def test_per_cm3_roundtrip():
+    assert units.to_per_cm3(units.per_cm3(5e18)) == pytest.approx(5e18)
+
+
+def test_time_helpers():
+    assert units.ps(10.0) == pytest.approx(1e-11)
+    assert units.ns(1.5) == pytest.approx(1.5e-9)
+
+
+def test_capacitance_helper():
+    assert units.fF(1.0) == pytest.approx(1e-15)
+
+
+def test_eng_format_femto():
+    assert units.eng_format(2.5e-15, "F") == "2.5fF"
+
+
+def test_eng_format_pico():
+    assert units.eng_format(6.0e-12, "s") == "6ps"
+
+
+def test_eng_format_zero():
+    assert units.eng_format(0.0, "V") == "0V"
+
+
+def test_eng_format_negative():
+    assert units.eng_format(-3.3e-9, "A").startswith("-3.3")
+
+
+def test_eng_format_plain_units():
+    assert units.eng_format(7.0, "Ohm") == "7Ohm"
+
+
+def test_eng_format_kilo():
+    assert units.eng_format(2200.0, "Ohm") == "2.2kOhm"

@@ -1,0 +1,77 @@
+"""Mobility and velocity-saturation models."""
+
+import pytest
+
+from repro.tcad.velocity import (
+    ELECTRON_MOBILITY,
+    HOLE_MOBILITY,
+    MobilityModel,
+    narrow_width_factor,
+)
+
+
+def test_low_field_limit():
+    model = MobilityModel(mu_low=0.06)
+    assert model.effective_mobility(0.0) == pytest.approx(0.06)
+
+
+def test_mobility_decreases_with_charge():
+    model = ELECTRON_MOBILITY
+    mus = [model.effective_mobility(q) for q in (0.0, 0.005, 0.01, 0.02)]
+    assert all(m2 < m1 for m1, m2 in zip(mus, mus[1:]))
+
+
+def test_effective_field_from_charge():
+    model = ELECTRON_MOBILITY
+    # E = Q / (2 eps_si).
+    assert model.effective_field(2.07e-10 * 1e8) == pytest.approx(1e8, rel=0.01)
+
+
+def test_negative_charge_clamped():
+    assert ELECTRON_MOBILITY.effective_field(-1.0) == 0.0
+
+
+def test_saturation_field_scales_inverse_mobility():
+    model = ELECTRON_MOBILITY
+    esat_low = model.saturation_field(0.0)
+    esat_high = model.saturation_field(0.02)
+    assert esat_high > esat_low  # degraded mobility -> higher Esat
+
+
+def test_electrons_faster_than_holes():
+    assert ELECTRON_MOBILITY.mu_low > HOLE_MOBILITY.mu_low
+    assert ELECTRON_MOBILITY.v_sat > HOLE_MOBILITY.v_sat
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        MobilityModel(mu_low=0.0)
+    with pytest.raises(ValueError):
+        MobilityModel(mu_low=0.06, v_sat=-1.0)
+
+
+def test_narrow_width_factor_wide_limit():
+    assert narrow_width_factor(1e-6) == pytest.approx(1.0, abs=0.02)
+
+
+def test_narrow_width_factor_monotone():
+    widths = [192e-9, 96e-9, 48e-9]
+    factors = [narrow_width_factor(w) for w in widths]
+    assert factors[0] > factors[1] > factors[2]
+    assert all(0.0 < f <= 1.0 for f in factors)
+
+
+def test_narrow_width_48nm_strongly_degraded():
+    # The 4-channel fingers: markedly worse than the 192 nm channel.
+    ratio = narrow_width_factor(48e-9) / narrow_width_factor(192e-9)
+    assert ratio < 0.92
+
+
+def test_narrow_width_rejects_bad_width():
+    with pytest.raises(ValueError):
+        narrow_width_factor(0.0)
+
+
+def test_narrow_width_fraction_capped():
+    # Extremely narrow channel: factor stays positive.
+    assert narrow_width_factor(1e-9) > 0.0
