@@ -1,11 +1,19 @@
 """Engine micro-benchmarks (not a paper artefact).
 
-Times the three computational kernels every experiment rests on: one
+Times the three computational kernels every experiment rests on (one
 vertical Poisson solve, one vectorised compact-model evaluation, and one
-inverter transient.  Useful for tracking performance regressions.
+inverter transient), plus the execution-engine macro benchmark that
+writes ``BENCH_engine.json``: cold-run, warm-run and parallel-run wall
+times of the end-to-end flow, the perf trajectory later PRs compare
+against.
 """
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
+import pytest
 
 from repro.compact.model import BsimSoi4Lite
 from repro.compact.parameters import default_parameters
@@ -45,3 +53,59 @@ def test_inverter_transient(benchmark):
 
     result = benchmark.pedantic(build_and_run, rounds=1, iterations=1)
     assert result.waveform("out").maximum() > 0.95
+
+
+@pytest.mark.engine
+@pytest.mark.slow
+def test_engine_flow_wall_times(tmp_path):
+    """Cold / warm / parallel wall times of the pipeline -> BENCH_engine.json.
+
+    Uses a one-cell flow (the full extraction chain plus the INV1X1
+    grid) on isolated cache directories so the numbers measure the
+    engine, not the state of the user-level store.
+    """
+    import os
+    from repro.engine import Engine, resolve_worker_count
+    from repro.flows.full_flow import run_full_flow
+
+    cells = ["INV1X1"]
+
+    start = time.perf_counter()
+    serial_cold = run_full_flow(
+        cell_names=cells,
+        engine=Engine(max_workers=1, cache_dir=tmp_path / "serial"))
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_full_flow(
+        cell_names=cells,
+        engine=Engine(max_workers=1, cache_dir=tmp_path / "serial"))
+    warm_s = time.perf_counter() - start
+
+    workers = max(2, resolve_worker_count())
+    start = time.perf_counter()
+    parallel_cold = run_full_flow(
+        cell_names=cells,
+        engine=Engine(max_workers=workers, cache_dir=tmp_path / "parallel"))
+    parallel_s = time.perf_counter() - start
+
+    assert warm.manifest.hit_rate() == 1.0
+    assert serial_cold.headline() == warm.headline() \
+        == parallel_cold.headline()
+
+    payload = {
+        "flow": {"cells": cells, "tasks": len(serial_cold.manifest.records)},
+        "cold_run_s": cold_s,
+        "warm_run_s": warm_s,
+        "parallel_run_s": parallel_s,
+        "parallel_workers": workers,
+        "cpu_count": os.cpu_count(),
+        "speedup_parallel_vs_cold": cold_s / parallel_s,
+        "speedup_warm_vs_cold": cold_s / warm_s,
+        "manifest_cold": serial_cold.manifest.summary(),
+        "manifest_warm": warm.manifest.summary(),
+        "manifest_parallel": parallel_cold.manifest.summary(),
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)

@@ -10,6 +10,8 @@ The package rebuilds the paper's whole tool chain in Python:
 * :mod:`repro.cells` — the 14 standard cells in four implementations,
 * :mod:`repro.layout` — design-rule-driven area model,
 * :mod:`repro.ppa` — the Figure-5 power/performance/area harness,
+* :mod:`repro.engine` — content-addressed, parallel execution engine
+  every expensive artefact is produced and cached through,
 * :mod:`repro.flows` — one-call end-to-end pipeline,
 * :mod:`repro.reporting` — regeneration of every table and figure.
 
@@ -20,6 +22,7 @@ Quickstart::
     print(comparison.render_metric("delay", scale=1e12, unit="ps"))
 """
 
+from repro.engine import Engine, RunManifest, default_engine
 from repro.geometry.process import DEFAULT_PROCESS, ProcessParameters
 from repro.geometry.transistor_layout import ChannelCount
 from repro.tcad.device import Polarity, design_for_variant
@@ -27,13 +30,16 @@ from repro.cells.variants import DeviceVariant
 from repro.ppa.comparison import PpaComparison
 from repro.ppa.runner import PpaRunner
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ProcessParameters",
     "DEFAULT_PROCESS",
     "ChannelCount",
+    "Engine",
     "Polarity",
+    "RunManifest",
+    "default_engine",
     "design_for_variant",
     "DeviceVariant",
     "PpaRunner",

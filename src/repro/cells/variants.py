@@ -17,8 +17,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.compact.model import BsimSoi4Lite
-from repro.extraction.flow import ExtractionFlow
-from repro.extraction.targets import cached_targets
 from repro.geometry.process import ProcessParameters
 from repro.geometry.transistor_layout import ChannelCount
 from repro.tcad.device import Polarity
@@ -67,8 +65,22 @@ class ModelSet:
         if self.pmos.polarity is not Polarity.PMOS:
             raise ValueError("pmos model has wrong polarity")
 
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation (for on-disk caching)."""
+        return {
+            "variant": self.variant.value,
+            "nmos": self.nmos.to_dict(),
+            "pmos": self.pmos.to_dict(),
+        }
 
-_MODEL_CACHE: Dict[str, ModelSet] = {}
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ModelSet":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            variant=DeviceVariant(data["variant"]),
+            nmos=BsimSoi4Lite.from_dict(data["nmos"]),
+            pmos=BsimSoi4Lite.from_dict(data["pmos"]),
+        )
 
 
 def extracted_model_set(variant: DeviceVariant,
@@ -77,20 +89,11 @@ def extracted_model_set(variant: DeviceVariant,
     """Run (or reuse) the extraction flow and return the variant's models.
 
     The n-type model is extracted from the variant's TCAD device; the
-    p-type model is always the traditional 2-D FDSOI PMOS.  Results are
-    cached — extraction costs a couple of seconds per device.
+    p-type model is always the traditional 2-D FDSOI PMOS.  Thin shim
+    over the execution engine: the artefact is content-addressed on the
+    full process record, so two processes can never share models, and
+    repeated in-process calls return the identical cached object.
+    Extraction costs a couple of seconds per device when cold.
     """
-    key = (f"{variant.value}:"
-           f"{id(process) if process is not None else 'default'}")
-    if key not in _MODEL_CACHE:
-        flow = ExtractionFlow()
-        n_targets = cached_targets(variant.n_channel_count, Polarity.NMOS,
-                                   process)
-        p_targets = cached_targets(variant.p_channel_count, Polarity.PMOS,
-                                   process)
-        _MODEL_CACHE[key] = ModelSet(
-            variant=variant,
-            nmos=flow.run(n_targets).model,
-            pmos=flow.run(p_targets).model,
-        )
-    return _MODEL_CACHE[key]
+    from repro.engine.pipeline import model_set
+    return model_set(variant, process)

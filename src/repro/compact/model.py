@@ -83,6 +83,33 @@ class BsimSoi4Lite:
         """Shorthand parameter accessor."""
         return self.params[name]
 
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation (for on-disk caching)."""
+        return {
+            "params": self.params.as_dict(),
+            "polarity": self.polarity.value,
+            "width": self.width,
+            "length": self.length,
+            "t_si": self.t_si,
+            "t_ox": self.t_ox,
+            "temperature": self.temperature,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BsimSoi4Lite":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            params=ParameterSet(dict(data["params"])),
+            polarity=Polarity(data["polarity"]),
+            width=data["width"],
+            length=data["length"],
+            t_si=data["t_si"],
+            t_ox=data["t_ox"],
+            temperature=data.get("temperature", 298.15),
+            name=data.get("name", "m_lite"),
+        )
+
     # ------------------------------------------------------------------
     # DC current
     # ------------------------------------------------------------------

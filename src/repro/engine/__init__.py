@@ -1,0 +1,63 @@
+"""Content-addressed, parallel execution engine.
+
+Every expensive pipeline artefact (TCAD characterisation, staged
+extraction, cell transient simulation) is produced by a *task*: a pure
+function identified by a stage name, a JSON-canonical payload and the
+tasks it depends on.  The engine
+
+* fingerprints each task from its stage version, payload and dependency
+  fingerprints (content addressing — two tasks with identical inputs
+  share one artefact, two tasks differing anywhere get distinct ones);
+* caches artefacts in memory and, via each stage's codec, in an on-disk
+  JSON store (default ``~/.cache/repro``, overridable with the
+  ``REPRO_CACHE_DIR`` environment variable);
+* fans independent tasks out over a :class:`~concurrent.futures.
+  ProcessPoolExecutor` with dependency-aware scheduling
+  (``max_workers=1`` forces deterministic serial execution);
+* records a :class:`RunManifest` of per-task wall time, cache hit/miss
+  and worker id for every run.
+
+See ``repro.engine.pipeline`` for the paper pipeline's stage
+definitions and task builders.
+"""
+
+from repro.engine.cache import ArtifactCache, resolve_cache_dir
+from repro.engine.executor import (
+    Engine,
+    EngineRun,
+    Task,
+    default_engine,
+    reset_default_engine,
+    resolve_worker_count,
+    set_default_engine,
+)
+from repro.engine.fingerprint import canonicalize, fingerprint
+from repro.engine.manifest import RunManifest, TaskRecord
+from repro.engine.stages import (
+    StageDef,
+    get_stage,
+    register_stage,
+    registered_stages,
+    unregister_stage,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "Engine",
+    "EngineRun",
+    "RunManifest",
+    "StageDef",
+    "Task",
+    "TaskRecord",
+    "canonicalize",
+    "default_engine",
+    "fingerprint",
+    "get_stage",
+    "register_stage",
+    "registered_stages",
+    "reset_default_engine",
+    "resolve_cache_dir",
+    "resolve_worker_count",
+    "set_default_engine",
+    "unregister_stage",
+]

@@ -1,0 +1,128 @@
+"""The two-layer content-addressed artifact cache.
+
+Layer 1 is an in-process dict keyed on the task fingerprint — hits are
+free and return the *same object*, preserving the identity semantics the
+old ad-hoc memos provided.  Layer 2 is an on-disk JSON store (one file
+per artefact, ``<dir>/<stage>/<fingerprint>.json``) shared by every
+process on the machine, so a warm cache survives interpreter restarts
+and is visible to pool workers.
+
+Directory resolution order: explicit argument > ``REPRO_CACHE_DIR``
+environment variable > ``~/.cache/repro``.  Setting
+``REPRO_CACHE_DIR`` to the empty string disables the disk layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.engine.stages import StageDef
+
+#: Environment variable overriding the on-disk store location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every on-disk artefact at once (store format).
+STORE_FORMAT = 1
+
+
+def resolve_cache_dir(cache_dir: Optional[os.PathLike] = None,
+                      ) -> Optional[Path]:
+    """Resolve the on-disk store directory (None disables the layer)."""
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env is not None:
+        return Path(env) if env else None
+    return Path.home() / ".cache" / "repro"
+
+
+class ArtifactCache:
+    """Memory + disk artefact store, keyed on task fingerprints."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 use_disk: bool = True):
+        self._memory: Dict[str, Any] = {}
+        self.cache_dir = resolve_cache_dir(cache_dir) if use_disk else None
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str, stage: StageDef) -> Tuple[Any, Optional[str]]:
+        """Return ``(artifact, layer)``; layer is None on a miss."""
+        if key in self._memory:
+            self.hits_memory += 1
+            return self._memory[key], "memory"
+        if self.cache_dir is not None and stage.persistent:
+            path = self._path(stage.name, key)
+            if path.is_file():
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        record = json.load(handle)
+                except (OSError, ValueError):
+                    record = None
+                if (record is not None
+                        and record.get("format") == STORE_FORMAT
+                        and record.get("stage") == stage.name
+                        and record.get("version") == stage.version):
+                    artifact = stage.decode(record["artifact"])
+                    self._memory[key] = artifact
+                    self.hits_disk += 1
+                    return artifact, "disk"
+        self.misses += 1
+        return None, None
+
+    def put(self, key: str, stage: StageDef, artifact: Any) -> None:
+        """Store an artefact in memory and (when possible) on disk."""
+        self._memory[key] = artifact
+        if self.cache_dir is None or not stage.persistent:
+            return
+        path = self._path(stage.name, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "format": STORE_FORMAT,
+            "stage": stage.name,
+            "version": stage.version,
+            "key": key,
+            "artifact": stage.encode(artifact),
+        }
+        # Atomic publish: concurrent workers may race on the same key;
+        # both write identical content, the rename keeps readers safe.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    def contains(self, key: str) -> bool:
+        """True when the key is resident in the memory layer."""
+        return key in self._memory
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (the disk layer is untouched)."""
+        self._memory.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters since construction."""
+        return {
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+        }
+
+    def _path(self, stage_name: str, key: str) -> Path:
+        return self.cache_dir / stage_name / f"{key}.json"

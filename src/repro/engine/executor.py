@@ -1,0 +1,309 @@
+"""The task-graph executor.
+
+``Engine.run`` takes a list of :class:`Task` descriptions, fingerprints
+them (stage version + payload + dependency fingerprints, so content
+addressing composes through the graph), serves whatever it can from the
+:class:`~repro.engine.cache.ArtifactCache`, and computes the rest —
+serially in deterministic topological order when ``max_workers == 1``,
+otherwise fanned out over a :class:`concurrent.futures.
+ProcessPoolExecutor` with dependency-aware scheduling: a task is
+submitted the moment its last dependency materialises, so extraction
+tasks feed PPA tasks as they complete rather than behind a barrier.
+
+Serial and parallel runs execute the same pure stage functions on the
+same inputs, so their artefacts are bit-identical; the only difference
+a manifest can show is wall time and worker ids.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.fingerprint import combine_fingerprints, fingerprint
+from repro.engine.manifest import RunManifest, TaskRecord
+from repro.engine.stages import get_stage
+from repro.errors import ReproError
+
+#: Environment variable overriding the auto-detected worker count.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of a task graph.
+
+    ``payload`` must be JSON-canonical data (see
+    :func:`repro.engine.fingerprint.canonicalize`) carrying everything
+    the stage's compute function needs besides dependency artefacts;
+    ``deps`` names the tasks whose artefacts it consumes.
+    """
+
+    id: str
+    stage: str
+    payload: Any = None
+    deps: Tuple[str, ...] = ()
+
+
+@dataclass
+class EngineRun:
+    """Artefacts and manifest of one completed run."""
+
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    manifest: RunManifest = field(default_factory=lambda: RunManifest(1))
+
+    def __getitem__(self, task_id: str) -> Any:
+        return self.artifacts[task_id]
+
+
+def resolve_worker_count(max_workers: Optional[int] = None) -> int:
+    """Worker count: explicit > ``REPRO_MAX_WORKERS`` > cpu count."""
+    if max_workers is None:
+        env = os.environ.get(MAX_WORKERS_ENV)
+        if env:
+            try:
+                max_workers = int(env)
+            except ValueError:
+                raise ReproError(
+                    f"{MAX_WORKERS_ENV} must be an integer, got {env!r}")
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if max_workers < 1:
+        raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+    return max_workers
+
+
+def _execute_in_worker(stage_name: str, payload: Any,
+                       deps: Dict[str, Any]) -> Tuple[Any, str, float]:
+    """Pool-side task execution; returns (artifact, worker id, wall time).
+
+    Pipeline stages register at import time, so a spawn-started worker
+    needs the defining module imported before lookup; fork-started
+    workers inherit the parent's registry.
+    """
+    try:
+        import repro.engine.pipeline  # noqa: F401  (registers stages)
+    except ImportError:
+        pass
+    stage = get_stage(stage_name)
+    start = time.perf_counter()
+    artifact = stage.compute(payload, deps)
+    return artifact, str(os.getpid()), time.perf_counter() - start
+
+
+class Engine:
+    """Content-addressed task-graph runner.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width; ``None`` auto-detects (``REPRO_MAX_WORKERS`` env var,
+        then cpu count).  ``1`` forces deterministic in-process serial
+        execution — no pool is created.
+    cache:
+        Share an existing :class:`ArtifactCache`; by default each engine
+        owns one resolved from ``cache_dir`` / ``REPRO_CACHE_DIR``.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 cache: Optional[ArtifactCache] = None,
+                 cache_dir: Optional[os.PathLike] = None,
+                 use_disk: bool = True):
+        self.max_workers = resolve_worker_count(max_workers)
+        self.cache = cache or ArtifactCache(cache_dir=cache_dir,
+                                            use_disk=use_disk)
+        self.last_manifest: Optional[RunManifest] = None
+
+    # ------------------------------------------------------------------
+    # graph preparation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _topological_order(tasks: Sequence[Task]) -> List[Task]:
+        by_id = {}
+        for task in tasks:
+            if task.id in by_id:
+                raise ReproError(f"duplicate task id {task.id!r}")
+            by_id[task.id] = task
+        order: List[Task] = []
+        state: Dict[str, int] = {}  # 1 = visiting, 2 = done
+
+        def visit(task_id: str, chain: Tuple[str, ...]) -> None:
+            if state.get(task_id) == 2:
+                return
+            if state.get(task_id) == 1:
+                raise ReproError(
+                    f"task graph cycle: {' -> '.join(chain + (task_id,))}")
+            if task_id not in by_id:
+                raise ReproError(f"unknown dependency {task_id!r}")
+            state[task_id] = 1
+            for dep in by_id[task_id].deps:
+                visit(dep, chain + (task_id,))
+            state[task_id] = 2
+            order.append(by_id[task_id])
+
+        for task in tasks:
+            visit(task.id, ())
+        return order
+
+    def task_keys(self, tasks: Sequence[Task]) -> Dict[str, str]:
+        """Content-addressed fingerprint of every task in the graph."""
+        keys: Dict[str, str] = {}
+        for task in self._topological_order(tasks):
+            stage = get_stage(task.stage)
+            keys[task.id] = combine_fingerprints(
+                task.stage, str(stage.version), fingerprint(task.payload),
+                *[keys[dep] for dep in task.deps])
+        return keys
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[Task]) -> EngineRun:
+        """Materialise every task's artefact, cheapest way available."""
+        run_start = time.perf_counter()
+        order = self._topological_order(tasks)
+        keys = self.task_keys(order)
+        result = EngineRun(manifest=RunManifest(max_workers=self.max_workers))
+
+        pending: List[Task] = []
+        for task in order:
+            stage = get_stage(task.stage)
+            lookup_start = time.perf_counter()
+            artifact, layer = self.cache.get(keys[task.id], stage)
+            if layer is not None:
+                result.artifacts[task.id] = artifact
+                result.manifest.add(TaskRecord(
+                    task_id=task.id, stage=task.stage, key=keys[task.id],
+                    cache=layer,
+                    wall_time=time.perf_counter() - lookup_start,
+                    worker="cache"))
+            else:
+                pending.append(task)
+
+        if pending:
+            if self.max_workers == 1 or len(pending) == 1:
+                self._run_serial(pending, keys, result)
+            else:
+                self._run_parallel(pending, keys, result)
+
+        result.manifest.total_wall_time = time.perf_counter() - run_start
+        self.last_manifest = result.manifest
+        return result
+
+    def _record_computed(self, task: Task, key: str, artifact: Any,
+                         worker: str, wall: float, result: EngineRun) -> None:
+        self.cache.put(key, get_stage(task.stage), artifact)
+        result.artifacts[task.id] = artifact
+        result.manifest.add(TaskRecord(
+            task_id=task.id, stage=task.stage, key=key, cache="miss",
+            wall_time=wall, worker=worker))
+
+    def _dep_artifacts(self, task: Task, result: EngineRun) -> Dict[str, Any]:
+        return {dep: result.artifacts[dep] for dep in task.deps}
+
+    def _try_cache(self, task: Task, key: str, result: EngineRun) -> bool:
+        """Serve a task from cache if possible (same-key dedup in a run)."""
+        stage = get_stage(task.stage)
+        start = time.perf_counter()
+        artifact, layer = self.cache.get(key, stage)
+        if layer is None:
+            return False
+        result.artifacts[task.id] = artifact
+        result.manifest.add(TaskRecord(
+            task_id=task.id, stage=task.stage, key=key, cache=layer,
+            wall_time=time.perf_counter() - start, worker="cache"))
+        return True
+
+    def _run_serial(self, pending: Sequence[Task], keys: Dict[str, str],
+                    result: EngineRun) -> None:
+        for task in pending:
+            # an earlier same-key task may have materialised it already
+            if self._try_cache(task, keys[task.id], result):
+                continue
+            stage = get_stage(task.stage)
+            start = time.perf_counter()
+            artifact = stage.compute(task.payload,
+                                     self._dep_artifacts(task, result))
+            self._record_computed(task, keys[task.id], artifact, "main",
+                                  time.perf_counter() - start, result)
+
+    def _run_parallel(self, pending: Sequence[Task], keys: Dict[str, str],
+                      result: EngineRun) -> None:
+        waiting = {task.id: task for task in pending}
+        futures = {}
+        inflight_keys = set()
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        workers = min(self.max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            def submit_ready() -> None:
+                # loop to quiescence: a cache-served task can unblock its
+                # dependents within the same scheduling round
+                progress = True
+                while progress:
+                    progress = False
+                    for task_id in list(waiting):
+                        task = waiting[task_id]
+                        if not all(dep in result.artifacts
+                                   for dep in task.deps):
+                            continue
+                        key = keys[task_id]
+                        if self._try_cache(task, key, result):
+                            del waiting[task_id]
+                            progress = True
+                            continue
+                        if key in inflight_keys:
+                            # same-key task already computing: wait, then
+                            # serve this one from cache
+                            continue
+                        del waiting[task_id]
+                        inflight_keys.add(key)
+                        futures[pool.submit(
+                            _execute_in_worker, task.stage, task.payload,
+                            self._dep_artifacts(task, result))] = task
+
+            submit_ready()
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures.pop(future)
+                    artifact, worker, wall = future.result()
+                    inflight_keys.discard(keys[task.id])
+                    self._record_computed(task, keys[task.id], artifact,
+                                          worker, wall, result)
+                submit_ready()
+
+
+# ----------------------------------------------------------------------
+# the process-wide default engine (what the thin shims route through)
+# ----------------------------------------------------------------------
+_DEFAULT_ENGINE: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The lazily created process-wide engine the API shims share."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine()
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[Engine]) -> Optional[Engine]:
+    """Swap the default engine (returns the previous one)."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous
+
+
+def reset_default_engine() -> None:
+    """Drop the default engine (a fresh one resolves env vars anew)."""
+    set_default_engine(None)

@@ -1,0 +1,138 @@
+"""Run manifests: what the engine did, task by task.
+
+Every :meth:`repro.engine.Engine.run` produces a :class:`RunManifest`
+with one :class:`TaskRecord` per task — stage, fingerprint, whether it
+hit the memory or disk cache or was computed, how long it took, and
+which worker produced it.  The manifest answers the operational
+questions a cached parallel pipeline raises: "did the warm run actually
+skip the TCAD sweeps?", "what fraction of the wall time went to
+extraction?", "did the pool spread work across workers?".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Outcome of one task in one run.
+
+    ``cache`` is ``"memory"``, ``"disk"`` or ``"miss"`` (computed);
+    ``worker`` is ``"cache"`` for hits, ``"main"`` for in-process serial
+    execution, or the pool worker's pid rendered as a string.
+    """
+
+    task_id: str
+    stage: str
+    key: str
+    cache: str
+    wall_time: float
+    worker: str
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache != "miss"
+
+
+@dataclass
+class RunManifest:
+    """All task records of one engine run plus run-level settings."""
+
+    max_workers: int
+    records: List[TaskRecord] = field(default_factory=list)
+    total_wall_time: float = 0.0
+
+    def add(self, record: TaskRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def stages(self) -> List[str]:
+        """Stage names present, in first-appearance order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.stage not in seen:
+                seen.append(record.stage)
+        return seen
+
+    def for_stage(self, stage: str) -> List[TaskRecord]:
+        """Records of one stage."""
+        return [r for r in self.records if r.stage == stage]
+
+    def hit_rate(self, stage: Optional[str] = None) -> float:
+        """Fraction of tasks served from cache (1.0 = all hits)."""
+        records = self.for_stage(stage) if stage else self.records
+        if not records:
+            return 0.0
+        return sum(1 for r in records if r.cache_hit) / len(records)
+
+    def workers_used(self) -> List[str]:
+        """Distinct workers that computed at least one task."""
+        return sorted({r.worker for r in self.records if r.cache == "miss"})
+
+    def summary(self) -> Dict:
+        """Aggregate view: totals plus per-stage hit/compute breakdown."""
+        per_stage = {}
+        for stage in self.stages():
+            records = self.for_stage(stage)
+            per_stage[stage] = {
+                "tasks": len(records),
+                "hits": sum(1 for r in records if r.cache_hit),
+                "computed": sum(1 for r in records if not r.cache_hit),
+                "wall_time": sum(r.wall_time for r in records),
+            }
+        return {
+            "tasks": len(self.records),
+            "cache_hits": sum(1 for r in self.records if r.cache_hit),
+            "computed": sum(1 for r in self.records if not r.cache_hit),
+            "max_workers": self.max_workers,
+            "workers_used": self.workers_used(),
+            "total_wall_time": self.total_wall_time,
+            "stages": per_stage,
+        }
+
+    # ------------------------------------------------------------------
+    # serialisation / rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation."""
+        return {
+            "max_workers": self.max_workers,
+            "total_wall_time": self.total_wall_time,
+            "records": [asdict(r) for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunManifest":
+        """Inverse of :meth:`to_dict`."""
+        manifest = cls(max_workers=data["max_workers"],
+                       total_wall_time=data.get("total_wall_time", 0.0))
+        for record in data.get("records", []):
+            manifest.add(TaskRecord(**record))
+        return manifest
+
+    def save(self, path: os.PathLike) -> None:
+        """Write the manifest as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    def render(self) -> str:
+        """Human-readable per-stage summary table."""
+        summary = self.summary()
+        lines = [
+            f"engine run: {summary['tasks']} tasks, "
+            f"{summary['cache_hits']} cached / {summary['computed']} "
+            f"computed, {summary['total_wall_time']:.2f}s wall, "
+            f"max_workers={summary['max_workers']}",
+        ]
+        for stage, row in summary["stages"].items():
+            lines.append(
+                f"  {stage:<16} {row['tasks']:>3} tasks  "
+                f"{row['hits']:>3} hit {row['computed']:>3} computed  "
+                f"{row['wall_time']:.2f}s")
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""The stage registry: named, versioned artefact producers.
+
+A :class:`StageDef` bundles everything the engine needs to compute,
+cache and restore one kind of artefact:
+
+* ``compute(payload, deps)`` — the pure function.  ``payload`` is the
+  task's JSON-canonical input record; ``deps`` maps dependency task ids
+  to their (already materialised) artefacts.
+* ``encode`` / ``decode`` — the JSON codec for the on-disk store.  A
+  stage without a codec still caches in memory but is never persisted.
+* ``version`` — bump whenever the compute function (or any physics it
+  calls into) changes behaviour, so stale on-disk artefacts from older
+  code can never be mistaken for current ones.
+
+Stages register at import time; worker processes re-register them by
+importing the defining module (see ``executor._execute_in_worker``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+ComputeFn = Callable[[Any, Dict[str, Any]], Any]
+EncodeFn = Callable[[Any], Any]
+DecodeFn = Callable[[Any], Any]
+
+
+@dataclass(frozen=True)
+class StageDef:
+    """One registered artefact producer."""
+
+    name: str
+    version: int
+    compute: ComputeFn
+    encode: Optional[EncodeFn] = None
+    decode: Optional[DecodeFn] = None
+
+    @property
+    def persistent(self) -> bool:
+        """True when the stage can round-trip artefacts through JSON."""
+        return self.encode is not None and self.decode is not None
+
+
+_REGISTRY: Dict[str, StageDef] = {}
+
+
+def register_stage(name: str, version: int, compute: ComputeFn,
+                   encode: Optional[EncodeFn] = None,
+                   decode: Optional[DecodeFn] = None,
+                   replace: bool = False) -> StageDef:
+    """Register a stage definition under ``name``.
+
+    Re-registering an identical name is an error unless ``replace`` is
+    set (used by tests that stub stages out).
+    """
+    if (encode is None) != (decode is None):
+        raise ReproError(f"stage {name!r} must define both encode and decode "
+                         f"or neither")
+    if name in _REGISTRY and not replace:
+        raise ReproError(f"stage {name!r} already registered")
+    stage = StageDef(name=name, version=version, compute=compute,
+                     encode=encode, decode=decode)
+    _REGISTRY[name] = stage
+    return stage
+
+
+def unregister_stage(name: str) -> None:
+    """Remove a stage (test helper); unknown names are ignored."""
+    _REGISTRY.pop(name, None)
+
+
+def get_stage(name: str) -> StageDef:
+    """Look a stage up, raising on unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(f"unknown engine stage {name!r}; is its defining "
+                         f"module imported?") from None
+
+
+def registered_stages() -> Tuple[str, ...]:
+    """Names of all currently registered stages (sorted)."""
+    return tuple(sorted(_REGISTRY))

@@ -44,6 +44,25 @@ class ExtractedDevice:
         """Worst regional error percent (paper claims < 10 everywhere)."""
         return max(self.errors.values())
 
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation (for on-disk caching)."""
+        return {
+            "model": self.model.to_dict(),
+            "targets": self.targets.to_dict(),
+            "errors": dict(self.errors),
+            "stage_rms": dict(self.stage_rms),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExtractedDevice":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            model=BsimSoi4Lite.from_dict(data["model"]),
+            targets=DeviceTargets.from_dict(data["targets"]),
+            errors=dict(data.get("errors", {})),
+            stage_rms=dict(data.get("stage_rms", {})),
+        )
+
 
 class ExtractionFlow:
     """Runs the staged extraction against one device's targets.

@@ -9,7 +9,7 @@ from repro.errors import ExtractionError
 from repro.geometry.process import ProcessParameters
 from repro.geometry.transistor_layout import ChannelCount
 from repro.tcad.characteristics import CVCurve, IdVdFamily, IVCurve
-from repro.tcad.device import DeviceDesign, Polarity, design_for_variant
+from repro.tcad.device import DeviceDesign, Polarity
 from repro.tcad.simulator import SweepSpec, TcadSimulator
 
 
@@ -74,22 +74,17 @@ def characterize_device(device: DeviceDesign,
     )
 
 
-_TARGET_CACHE: Dict[str, DeviceTargets] = {}
-
-
 def cached_targets(variant: ChannelCount, polarity: Polarity,
                    process: Optional[ProcessParameters] = None,
                    spec: Optional[SweepSpec] = None) -> DeviceTargets:
-    """Characterise (variant, polarity) once per process, then reuse.
+    """Characterise (variant, polarity) once per inputs, then reuse.
 
-    The TCAD sweeps take ~1 s per device; the extraction flow, the PPA
-    harness and many tests all need the same eight devices, so an
-    in-memory cache keyed on the request avoids quadratic recompute.
+    Thin shim over the execution engine: the artefact is content-
+    addressed on the *full* process record and sweep plan (not object
+    identity), cached in memory for the life of the process and in the
+    on-disk store across processes.  The TCAD sweeps take ~1 s per
+    device; the extraction flow, the PPA harness and many tests all
+    need the same eight devices.
     """
-    key = (f"{variant.name}:{polarity.value}:"
-           f"{id(process) if process is not None else 'default'}:"
-           f"{spec!r}")
-    if key not in _TARGET_CACHE:
-        device = design_for_variant(variant, polarity, process)
-        _TARGET_CACHE[key] = characterize_device(device, spec)
-    return _TARGET_CACHE[key]
+    from repro.engine.pipeline import device_targets
+    return device_targets(variant, polarity, process, spec)

@@ -3,6 +3,13 @@
 TCAD characterisation of all eight devices -> staged extraction ->
 standard-cell simulation -> PPA comparison + area report.  This is what
 the benchmark harness and the end-to-end example drive.
+
+The whole run is submitted to the execution engine as a single task
+graph — 8 independent (variant, polarity) extractions feeding up to 56
+independent (cell, variant) transients — so a parallel engine fans the
+grid out across workers and a warm artifact cache skips straight to the
+report assembly.  ``FullFlowResult.manifest`` records what actually
+happened, task by task.
 """
 
 from __future__ import annotations
@@ -11,14 +18,20 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cells.library import CELL_NAMES
+from repro.cells.netlist_builder import Parasitics
 from repro.cells.variants import DeviceVariant
-from repro.extraction.flow import ExtractedDevice, ExtractionFlow
+from repro.engine import Engine, RunManifest, default_engine
+from repro.engine.pipeline import (
+    cell_ppa_tasks,
+    extraction_tasks,
+    merge_tasks,
+)
 from repro.extraction.results import ExtractionReport
-from repro.extraction.targets import cached_targets
+from repro.geometry.process import ProcessParameters
 from repro.geometry.transistor_layout import ChannelCount
 from repro.layout.report import AreaReport, build_area_report
 from repro.ppa.comparison import PpaComparison
-from repro.ppa.runner import PpaRunner
+from repro.ppa.runner import DEFAULT_DT
 from repro.tcad.device import Polarity
 
 
@@ -34,11 +47,15 @@ class FullFlowResult:
         Figure 5(a)/(b)/(c) data across cells and variants.
     areas:
         The standalone area report (substrate-area discussion).
+    manifest:
+        The engine run manifest (per-task wall time, cache hit/miss,
+        worker id); ``None`` only for hand-assembled results.
     """
 
     extraction: ExtractionReport
     ppa: PpaComparison
     areas: AreaReport
+    manifest: Optional[RunManifest] = None
 
     def headline(self) -> dict:
         """The abstract's headline claims, measured."""
@@ -56,33 +73,74 @@ class FullFlowResult:
         }
 
 
+def _resolve_engine(engine: Optional[Engine],
+                    max_workers: Optional[int]) -> Engine:
+    """Pick the engine: explicit > width override > process default.
+
+    A width override still shares the default engine's artifact cache,
+    so serial and parallel runs in one process reuse each other's work.
+    """
+    if engine is not None:
+        return engine
+    if max_workers is not None:
+        return Engine(max_workers=max_workers, cache=default_engine().cache)
+    return default_engine()
+
+
 def run_extractions(variants: Optional[List[ChannelCount]] = None,
-                    ) -> ExtractionReport:
-    """Extract compact models for every (variant, polarity) pair."""
+                    process: Optional[ProcessParameters] = None,
+                    engine: Optional[Engine] = None,
+                    max_workers: Optional[int] = None) -> ExtractionReport:
+    """Extract compact models for every (variant, polarity) pair.
+
+    All (variant, polarity) extractions are independent, so a parallel
+    engine characterises and fits them concurrently.
+    """
     variants = variants or list(ChannelCount)
-    flow = ExtractionFlow()
-    devices: List[ExtractedDevice] = []
-    for variant in variants:
-        for polarity in (Polarity.NMOS, Polarity.PMOS):
-            targets = cached_targets(variant, polarity)
-            devices.append(flow.run(targets))
-    return ExtractionReport(devices)
+    engine = _resolve_engine(engine, max_workers)
+    pairs = [extraction_tasks(variant, polarity, process)
+             for variant in variants
+             for polarity in (Polarity.NMOS, Polarity.PMOS)]
+    run = engine.run(merge_tasks(*[support for _, support in pairs]))
+    return ExtractionReport([run[task.id] for task, _ in pairs])
 
 
 def run_full_flow(cell_names: Optional[List[str]] = None,
                   variants: Optional[List[DeviceVariant]] = None,
-                  ) -> FullFlowResult:
-    """Run the whole pipeline.
+                  extraction_variants: Optional[List[ChannelCount]] = None,
+                  process: Optional[ProcessParameters] = None,
+                  parasitics: Optional[Parasitics] = None,
+                  dt: float = DEFAULT_DT,
+                  engine: Optional[Engine] = None,
+                  max_workers: Optional[int] = None) -> FullFlowResult:
+    """Run the whole pipeline as one engine task graph.
 
-    ``cell_names`` defaults to all 14 cells (several minutes of
-    simulation); pass a subset for a faster run.
+    ``cell_names`` defaults to all 14 cells (several minutes of cold
+    serial simulation); pass a subset for a faster run.  ``max_workers``
+    overrides the engine width (1 forces deterministic serial mode);
+    results are bit-identical either way, only the wall time and the
+    manifest's worker ids differ.
     """
     cells = cell_names or list(CELL_NAMES)
-    extraction = run_extractions()
-    runner = PpaRunner()
-    results = runner.sweep(cell_names=cells, variants=variants)
+    channel_variants = extraction_variants or list(ChannelCount)
+    cell_variants = variants or list(DeviceVariant)
+    engine = _resolve_engine(engine, max_workers)
+
+    extraction_pairs = [extraction_tasks(variant, polarity, process)
+                        for variant in channel_variants
+                        for polarity in (Polarity.NMOS, Polarity.PMOS)]
+    ppa_pairs = [cell_ppa_tasks(cell, variant, parasitics, dt, process)
+                 for cell in cells for variant in cell_variants]
+    graph = merge_tasks(*[support for _, support in extraction_pairs],
+                        *[support for _, support in ppa_pairs])
+
+    run = engine.run(graph)
+    extraction = ExtractionReport(
+        [run[task.id] for task, _ in extraction_pairs])
+    results = [run[task.id] for task, _ in ppa_pairs]
     return FullFlowResult(
         extraction=extraction,
         ppa=PpaComparison.from_results(results),
         areas=build_area_report(),
+        manifest=run.manifest,
     )

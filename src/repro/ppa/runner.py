@@ -5,18 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.cells.library import all_cells, get_cell
+from repro.cells.library import all_cells
 from repro.cells.netlist_builder import (
     CellNetlist,
     Parasitics,
     build_cell_circuit,
 )
 from repro.cells.spec import CellSpec
-from repro.cells.variants import DeviceVariant, extracted_model_set
+from repro.cells.variants import DeviceVariant, ModelSet, extracted_model_set
 from repro.cells.vectors import StimulusRun, stimulus_plan_for
-from repro.ppa.area import cell_area, substrate_area
-from repro.ppa.delay import measure_cell_delay
-from repro.ppa.power import measure_cell_power
 from repro.spice.elements.vsource import PulseSpec
 from repro.spice.transient import TransientResult, transient
 
@@ -40,17 +37,44 @@ class CellPPA:
         """Power-delay product [J]."""
         return self.power * self.delay
 
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation (for on-disk caching)."""
+        return {
+            "cell_name": self.cell_name,
+            "variant": self.variant.value,
+            "delay": self.delay,
+            "power": self.power,
+            "area": self.area,
+            "substrate": self.substrate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CellPPA":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            cell_name=data["cell_name"],
+            variant=DeviceVariant(data["variant"]),
+            delay=data["delay"],
+            power=data["power"],
+            area=data["area"],
+            substrate=data["substrate"],
+        )
+
 
 def simulate_cell(spec: CellSpec, variant: DeviceVariant,
                   parasitics: Parasitics = Parasitics(),
                   dt: float = DEFAULT_DT,
+                  models: Optional[ModelSet] = None,
                   ) -> Tuple[CellNetlist,
                              Dict[str, Tuple[StimulusRun, TransientResult]]]:
     """Run the sensitised stimulus plan of one cell implementation.
 
     Returns the netlist and, per toggled input, its (run, transient).
+    ``models`` short-circuits the extraction chain when the caller (the
+    engine's ``cell_ppa`` stage) already holds the variant's model set.
     """
-    models = extracted_model_set(variant)
+    if models is None:
+        models = extracted_model_set(variant)
     netlist = build_cell_circuit(spec, models, parasitics)
     plan = stimulus_plan_for(spec)
 
@@ -77,36 +101,46 @@ def _configure_sources(netlist: CellNetlist, run: StimulusRun) -> None:
 
 
 class PpaRunner:
-    """Caches PPA results across the cells x variants grid."""
+    """Engine-backed PPA evaluation across the cells x variants grid.
+
+    Results are content-addressed on the full request — (cell, variant,
+    parasitics, dt, process) — so one runner instance can be reused
+    across parasitic or timestep sweeps without ever returning numbers
+    computed under different conditions, and two runners with equal
+    settings share artefacts through the engine cache.
+    """
 
     def __init__(self, parasitics: Parasitics = Parasitics(),
-                 dt: float = DEFAULT_DT):
+                 dt: float = DEFAULT_DT, process=None, engine=None):
         self.parasitics = parasitics
         self.dt = dt
-        self._cache: Dict[Tuple[str, DeviceVariant], CellPPA] = {}
+        self.process = process
+        self.engine = engine
+
+    def _engine(self):
+        from repro.engine import default_engine
+        return self.engine or default_engine()
 
     def evaluate(self, cell_name: str, variant: DeviceVariant) -> CellPPA:
-        """PPA of one (cell, variant) pair (cached)."""
-        key = (cell_name, variant)
-        if key not in self._cache:
-            spec = get_cell(cell_name)
-            netlist, results = simulate_cell(spec, variant,
-                                             self.parasitics, self.dt)
-            self._cache[key] = CellPPA(
-                cell_name=cell_name,
-                variant=variant,
-                delay=measure_cell_delay(netlist, results),
-                power=measure_cell_power(netlist, results),
-                area=cell_area(spec, variant),
-                substrate=substrate_area(spec, variant),
-            )
-        return self._cache[key]
+        """PPA of one (cell, variant) pair (cached in the engine)."""
+        from repro.engine.pipeline import cell_ppa
+        return cell_ppa(cell_name, variant, self.parasitics, self.dt,
+                        self.process, engine=self._engine())
 
     def sweep(self, cell_names: Optional[List[str]] = None,
               variants: Optional[List[DeviceVariant]] = None,
               ) -> List[CellPPA]:
-        """Evaluate a grid of cells and variants."""
+        """Evaluate a grid of cells and variants.
+
+        The whole grid is submitted as one task graph, so with a
+        parallel engine the independent (cell, variant) transients fan
+        out across workers as their shared model sets complete.
+        """
+        from repro.engine.pipeline import cell_ppa_tasks, merge_tasks
         names = cell_names or [c.name for c in all_cells()]
         variants = variants or list(DeviceVariant)
-        return [self.evaluate(name, variant)
+        grid = [cell_ppa_tasks(name, variant, self.parasitics, self.dt,
+                               self.process)
                 for name in names for variant in variants]
+        run = self._engine().run(merge_tasks(*[tasks for _, tasks in grid]))
+        return [run[task.id] for task, _ in grid]

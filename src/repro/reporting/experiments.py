@@ -136,6 +136,24 @@ def _extension_section() -> List[str]:
     return lines
 
 
+def _engine_section(result: FullFlowResult) -> List[str]:
+    """How the run was produced: cache hits, workers, wall time."""
+    if result.manifest is None:
+        return []
+    summary = result.manifest.summary()
+    lines = ["## Execution engine run manifest", ""]
+    lines.append(f"* {summary['tasks']} tasks: {summary['cache_hits']} "
+                 f"cache hits, {summary['computed']} computed "
+                 f"({summary['total_wall_time']:.1f}s wall, "
+                 f"max_workers={summary['max_workers']}).")
+    for stage, row in summary["stages"].items():
+        lines.append(f"  * `{stage}`: {row['tasks']} tasks, "
+                     f"{row['hits']} hit / {row['computed']} computed, "
+                     f"{row['wall_time']:.1f}s task time.")
+    lines.append("")
+    return lines
+
+
 def build_experiments_markdown() -> str:
     """Run everything and render the EXPERIMENTS.md content."""
     result = run_full_flow()
@@ -157,6 +175,7 @@ def build_experiments_markdown() -> str:
     lines += _per_cell_extremes(result)
     lines += _substrate_section()
     lines += _extension_section()
+    lines += _engine_section(result)
     lines += [
         "## Known deviations",
         "",

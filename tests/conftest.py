@@ -10,11 +10,33 @@ from __future__ import annotations
 import pytest
 
 from repro.cells.variants import DeviceVariant, extracted_model_set
+from repro.engine import reset_default_engine
+from repro.engine.cache import CACHE_DIR_ENV
 from repro.extraction.flow import ExtractionFlow
 from repro.extraction.targets import cached_targets
 from repro.geometry.process import DEFAULT_PROCESS
 from repro.geometry.transistor_layout import ChannelCount
 from repro.tcad.device import Polarity, design_for_variant
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_engine_cache(tmp_path_factory):
+    """Point the engine's disk store at a per-session directory.
+
+    Keeps the suite hermetic: no artefacts are read from (or written
+    to) the user-level ``~/.cache/repro`` store, while the disk layer
+    itself still gets exercised.
+    """
+    import os
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("engine-cache"))
+    reset_default_engine()
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
+    reset_default_engine()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,115 @@
+"""The two-layer artifact cache: memory identity, disk round-trips,
+version invalidation and directory resolution."""
+
+import json
+
+import pytest
+
+from repro.engine.cache import CACHE_DIR_ENV, ArtifactCache, resolve_cache_dir
+from repro.engine.stages import StageDef
+
+
+def _stage(version=1, persistent=True):
+    codec = dict(encode=lambda art: {"value": art["value"]},
+                 decode=lambda data: {"value": data["value"]})
+    return StageDef(name="toy", version=version,
+                    compute=lambda payload, deps: None,
+                    **(codec if persistent else {}))
+
+
+def test_memory_layer_returns_identical_object(tmp_path):
+    cache = ArtifactCache(cache_dir=tmp_path)
+    artifact = {"value": 42.0}
+    cache.put("k1", _stage(), artifact)
+    hit, layer = cache.get("k1", _stage())
+    assert hit is artifact
+    assert layer == "memory"
+
+
+def test_disk_layer_roundtrips_across_instances(tmp_path):
+    stage = _stage()
+    ArtifactCache(cache_dir=tmp_path).put("k1", stage, {"value": 0.1})
+    fresh = ArtifactCache(cache_dir=tmp_path)
+    hit, layer = fresh.get("k1", stage)
+    assert layer == "disk"
+    assert hit == {"value": 0.1}
+    # and it is now memory-resident
+    again, layer2 = fresh.get("k1", stage)
+    assert layer2 == "memory"
+    assert again is hit
+
+
+def test_stage_version_bump_invalidates_disk_artifacts(tmp_path):
+    ArtifactCache(cache_dir=tmp_path).put("k1", _stage(version=1),
+                                          {"value": 1.0})
+    hit, layer = ArtifactCache(cache_dir=tmp_path).get("k1",
+                                                       _stage(version=2))
+    assert hit is None and layer is None
+
+
+def test_corrupt_disk_entry_is_a_miss_not_an_error(tmp_path):
+    stage = _stage()
+    cache = ArtifactCache(cache_dir=tmp_path)
+    cache.put("k1", stage, {"value": 1.0})
+    path = tmp_path / "toy" / "k1.json"
+    path.write_text("{not json", encoding="utf-8")
+    hit, layer = ArtifactCache(cache_dir=tmp_path).get("k1", stage)
+    assert hit is None and layer is None
+
+
+def test_non_persistent_stage_stays_in_memory_only(tmp_path):
+    stage = _stage(persistent=False)
+    cache = ArtifactCache(cache_dir=tmp_path)
+    cache.put("k1", stage, {"value": 1.0})
+    assert not (tmp_path / "toy").exists()
+    hit, layer = ArtifactCache(cache_dir=tmp_path).get("k1", stage)
+    assert hit is None
+
+
+def test_disk_store_is_valid_json_with_metadata(tmp_path):
+    stage = _stage()
+    ArtifactCache(cache_dir=tmp_path).put("deadbeef", stage, {"value": 2.5})
+    record = json.loads((tmp_path / "toy" / "deadbeef.json").read_text())
+    assert record["stage"] == "toy"
+    assert record["version"] == 1
+    assert record["key"] == "deadbeef"
+    assert record["artifact"] == {"value": 2.5}
+
+
+def test_stats_counters(tmp_path):
+    stage = _stage()
+    cache = ArtifactCache(cache_dir=tmp_path)
+    cache.get("missing", stage)
+    cache.put("k1", stage, {"value": 1.0})
+    cache.get("k1", stage)
+    assert cache.stats() == {"hits_memory": 1, "hits_disk": 0, "misses": 1}
+
+
+def test_cache_dir_resolution(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+    assert resolve_cache_dir() == tmp_path / "env"
+    assert resolve_cache_dir(tmp_path / "explicit") == tmp_path / "explicit"
+    monkeypatch.setenv(CACHE_DIR_ENV, "")
+    assert resolve_cache_dir() is None
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    assert resolve_cache_dir().name == "repro"
+
+
+def test_empty_env_disables_disk_layer(monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, "")
+    cache = ArtifactCache()
+    assert cache.cache_dir is None
+    stage = _stage()
+    cache.put("k1", stage, {"value": 1.0})  # must not raise
+    hit, layer = cache.get("k1", stage)
+    assert layer == "memory"
+
+
+def test_clear_memory_keeps_disk(tmp_path):
+    stage = _stage()
+    cache = ArtifactCache(cache_dir=tmp_path)
+    cache.put("k1", stage, {"value": 1.0})
+    cache.clear_memory()
+    hit, layer = cache.get("k1", stage)
+    assert layer == "disk"
+    assert hit == {"value": 1.0}

@@ -1,0 +1,72 @@
+"""Content fingerprints: stability, sensitivity, canonical forms."""
+
+import numpy as np
+import pytest
+
+from repro.engine.fingerprint import (
+    canonicalize,
+    combine_fingerprints,
+    fingerprint,
+)
+from repro.errors import ReproError
+from repro.geometry.process import DEFAULT_PROCESS, ProcessParameters
+from repro.tcad.device import Polarity
+from repro.tcad.simulator import SweepSpec
+
+
+def test_dict_key_order_is_irrelevant():
+    assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+
+def test_float_sensitivity_to_last_ulp():
+    value = 0.1
+    bumped = np.nextafter(value, 1.0)
+    assert fingerprint(value) != fingerprint(float(bumped))
+
+
+def test_int_and_float_distinguished_from_strings():
+    assert fingerprint(1) != fingerprint("1")
+
+
+def test_enum_canonical_form():
+    assert canonicalize(Polarity.NMOS) == {"__enum__": "Polarity.NMOS"}
+    assert fingerprint(Polarity.NMOS) != fingerprint(Polarity.PMOS)
+
+
+def test_dataclass_includes_every_field():
+    base = fingerprint(DEFAULT_PROCESS)
+    assert fingerprint(ProcessParameters()) == base
+    assert fingerprint(DEFAULT_PROCESS.with_updates(t_si=8e-9)) != base
+
+
+def test_dataclass_class_name_is_part_of_identity():
+    assert canonicalize(SweepSpec())["__dataclass__"] == "SweepSpec"
+
+
+def test_numpy_array_matches_list_of_floats():
+    assert fingerprint(np.array([1.0, 2.0])) == fingerprint([1.0, 2.0])
+
+
+def test_numpy_scalars_canonicalize():
+    assert fingerprint(np.float64(3.5)) == fingerprint(3.5)
+
+
+def test_nested_containers_and_none():
+    a = {"x": [1, (2, 3)], "y": None}
+    b = {"y": None, "x": [1, [2, 3]]}
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_nan_is_fingerprintable_and_stable():
+    assert fingerprint(float("nan")) == fingerprint(float("nan"))
+    assert fingerprint(float("nan")) != fingerprint(0.0)
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(ReproError):
+        fingerprint(object())
+
+
+def test_combine_fingerprints_is_order_sensitive():
+    assert combine_fingerprints("a", "b") != combine_fingerprints("b", "a")
+    assert combine_fingerprints("ab") != combine_fingerprints("a", "b")

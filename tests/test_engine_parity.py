@@ -1,0 +1,83 @@
+"""Serial/parallel and cold/warm parity of the engine-run full flow.
+
+The acceptance bar for the execution engine: fanning the pipeline out
+over processes, or serving it from the artifact cache, must change wall
+time only — every reported number stays bit-identical.
+
+Runs a reduced flow (one cell, two variants, four devices) so the three
+cold/warm runs stay test-suite friendly.
+"""
+
+import pytest
+
+from repro.cells.variants import DeviceVariant
+from repro.engine import Engine
+from repro.engine.pipeline import STAGE_EXTRACTION, STAGE_TARGETS
+from repro.flows.full_flow import run_full_flow
+from repro.geometry.transistor_layout import ChannelCount
+
+pytestmark = pytest.mark.engine
+
+CELLS = ["INV1X1"]
+VARIANTS = [DeviceVariant.TWO_D, DeviceVariant.MIV_1CH,
+            DeviceVariant.MIV_2CH]
+DEVICES = [ChannelCount.TRADITIONAL, ChannelCount.ONE, ChannelCount.TWO]
+
+
+def _flow(engine):
+    return run_full_flow(cell_names=CELLS, variants=VARIANTS,
+                         extraction_variants=DEVICES, engine=engine)
+
+
+@pytest.fixture(scope="module")
+def serial_cold(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("serial")
+    result = _flow(Engine(max_workers=1, cache_dir=cache_dir))
+    return result, cache_dir
+
+
+@pytest.fixture(scope="module")
+def parallel_cold(tmp_path_factory):
+    return _flow(Engine(max_workers=4,
+                        cache_dir=tmp_path_factory.mktemp("parallel")))
+
+
+def test_serial_and_parallel_results_bit_identical(serial_cold,
+                                                   parallel_cold):
+    serial, _ = serial_cold
+    assert serial.headline() == parallel_cold.headline()
+    for cell in CELLS:
+        for variant in VARIANTS:
+            for metric in ("delay", "power", "area"):
+                assert serial.ppa.value(cell, variant, metric) == \
+                    parallel_cold.ppa.value(cell, variant, metric)
+
+
+def test_cold_runs_computed_everything(serial_cold, parallel_cold):
+    serial, _ = serial_cold
+    assert serial.manifest.hit_rate() == 0.0
+    assert parallel_cold.manifest.hit_rate() == 0.0
+    assert serial.manifest.workers_used() == ["main"]
+    assert parallel_cold.manifest.max_workers == 4
+
+
+def test_warm_disk_cache_skips_all_tcad_and_extraction(serial_cold):
+    serial, cache_dir = serial_cold
+    warm = _flow(Engine(max_workers=1, cache_dir=cache_dir))
+    assert warm.manifest.hit_rate(STAGE_TARGETS) == 1.0
+    assert warm.manifest.hit_rate(STAGE_EXTRACTION) == 1.0
+    assert warm.manifest.hit_rate() == 1.0
+    assert warm.headline() == serial.headline()
+
+
+def test_max_workers_shortcut_shares_default_cache():
+    # the max_workers override must reuse the process-default cache, so
+    # artefacts of one call are visible to the next regardless of the
+    # per-call worker setting
+    cold = run_full_flow(cell_names=CELLS, variants=VARIANTS,
+                         extraction_variants=DEVICES, max_workers=1)
+    assert cold.manifest.max_workers == 1
+    warm = run_full_flow(cell_names=CELLS, variants=VARIANTS,
+                         extraction_variants=DEVICES, max_workers=1)
+    assert warm.manifest.hit_rate() == 1.0
+    assert warm.headline() == cold.headline()
