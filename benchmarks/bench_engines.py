@@ -72,20 +72,20 @@ def test_engine_flow_wall_times(tmp_path):
 
     start = time.perf_counter()
     serial_cold = run_full_flow(
-        cell_names=cells,
+        cells=cells,
         engine=Engine(max_workers=1, cache_dir=tmp_path / "serial"))
     cold_s = time.perf_counter() - start
 
     start = time.perf_counter()
     warm = run_full_flow(
-        cell_names=cells,
+        cells=cells,
         engine=Engine(max_workers=1, cache_dir=tmp_path / "serial"))
     warm_s = time.perf_counter() - start
 
     workers = max(2, resolve_worker_count())
     start = time.perf_counter()
     parallel_cold = run_full_flow(
-        cell_names=cells,
+        cells=cells,
         engine=Engine(max_workers=workers, cache_dir=tmp_path / "parallel"))
     parallel_s = time.perf_counter() - start
 

@@ -6,10 +6,14 @@ Runs the full pipeline on a pair of cells:
    2-channel MIV-transistor,
 2. staged level-70 extraction (Figure 3),
 3. standard-cell transient simulation with the paper's parasitics,
-4. the 2-channel vs 2-D comparison (Figure 5 for two cells).
+4. the 2-channel vs 2-D comparison (Figure 5 for two cells),
+5. a traced re-run exporting a Chrome trace and a metrics summary.
 
 Run:  python examples/quickstart.py        (about one minute)
 """
+
+import tempfile
+from pathlib import Path
 
 from repro import DeviceVariant, quick_ppa
 from repro.reporting.figures import fig5_series, render_csv
@@ -18,7 +22,7 @@ from repro.reporting.figures import fig5_series, render_csv
 def main() -> None:
     cells = ["INV1X1", "NAND2X1"]
     print(f"Characterising devices and simulating {cells} ...")
-    comparison = quick_ppa(cells)
+    comparison = quick_ppa(cells=cells)
 
     for metric, scale, unit in (("delay", 1e12, "ps"),
                                 ("power", 1e6, "uW"),
@@ -34,6 +38,15 @@ def main() -> None:
         print(f"  {metric:>6}: {change:+.2f}%")
     print("\nPaper headline (full library): delay -2%, power -1%, "
           "area -18%, PDP -3%.")
+
+    # -- observability demo: re-run traced (warm cache, so it's fast) --
+    out_dir = Path(tempfile.mkdtemp(prefix="repro_trace_"))
+    print(f"\nRe-running with tracing on (exports under {out_dir}) ...")
+    quick_ppa(cells=cells, observe=out_dir)
+    print(f"  Chrome trace: {out_dir / 'trace.json'} "
+          "(load in chrome://tracing or ui.perfetto.dev)")
+    print(f"  Event log:    {out_dir / 'events.jsonl'}")
+    print((out_dir / "summary.txt").read_text())
 
 
 if __name__ == "__main__":

@@ -12,49 +12,97 @@ The package rebuilds the paper's whole tool chain in Python:
 * :mod:`repro.ppa` — the Figure-5 power/performance/area harness,
 * :mod:`repro.engine` — content-addressed, parallel execution engine
   every expensive artefact is produced and cached through,
+* :mod:`repro.observe` — span tracing, metrics and trace exports,
 * :mod:`repro.flows` — one-call end-to-end pipeline,
 * :mod:`repro.reporting` — regeneration of every table and figure.
 
-Quickstart::
+Quickstart (1.2 API — keyword-only, engine-first)::
 
     from repro import quick_ppa
-    comparison = quick_ppa(["INV1X1", "NAND2X1"])
+    comparison = quick_ppa(cells=["INV1X1", "NAND2X1"])
     print(comparison.render_metric("delay", scale=1e12, unit="ps"))
+
+Every public entry point — :func:`quick_ppa`,
+:func:`repro.flows.run_full_flow`, :func:`repro.flows.run_extractions`
+and :class:`repro.ppa.runner.PpaRunner` — shares one keyword-only
+signature family ``(*, cells=None, variants=None, parasitics=None,
+dt=DEFAULT_DT, engine=None, observe=None)`` and accepts ``observe=`` to
+scope tracing to the call (``True``, a path, or a
+:class:`repro.observe.Tracer`)::
+
+    comparison = quick_ppa(cells=["INV1X1"], observe="trace_out/")
+    # trace_out/trace.json loads in chrome://tracing / Perfetto
 """
 
+from repro.cells.netlist_builder import Parasitics
+from repro.cells.variants import DeviceVariant
+from repro.deprecation import absorb_positional, absorb_renamed
 from repro.engine import Engine, RunManifest, default_engine
+from repro.flows import FullFlowResult, run_extractions, run_full_flow
 from repro.geometry.process import DEFAULT_PROCESS, ProcessParameters
 from repro.geometry.transistor_layout import ChannelCount
-from repro.tcad.device import Polarity, design_for_variant
-from repro.cells.variants import DeviceVariant
+from repro.observe import (
+    NULL_TRACER,
+    Tracer,
+    configure,
+    configure_logging,
+    get_tracer,
+    summary_table,
+)
 from repro.ppa.comparison import PpaComparison
-from repro.ppa.runner import PpaRunner
+from repro.ppa.runner import DEFAULT_DT, PpaRunner
+from repro.tcad.device import Polarity, design_for_variant
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "ProcessParameters",
-    "DEFAULT_PROCESS",
     "ChannelCount",
+    "DEFAULT_DT",
+    "DEFAULT_PROCESS",
+    "DeviceVariant",
     "Engine",
+    "FullFlowResult",
+    "NULL_TRACER",
+    "Parasitics",
     "Polarity",
+    "PpaComparison",
+    "PpaRunner",
+    "ProcessParameters",
     "RunManifest",
+    "Tracer",
+    "configure",
+    "configure_logging",
     "default_engine",
     "design_for_variant",
-    "DeviceVariant",
-    "PpaRunner",
-    "PpaComparison",
+    "get_tracer",
     "quick_ppa",
+    "run_extractions",
+    "run_full_flow",
+    "summary_table",
     "__version__",
 ]
 
 
-def quick_ppa(cell_names=None) -> PpaComparison:
+def quick_ppa(*args, cells=None, variants=None, parasitics=None,
+              dt=DEFAULT_DT, engine=None, observe=None,
+              cell_names=None) -> PpaComparison:
     """Run the full pipeline on a set of cells and return the comparison.
 
     Convenience wrapper over :class:`repro.ppa.runner.PpaRunner` — the
     first call characterises and extracts all device variants (about half
-    a minute), later calls reuse the caches.
+    a minute), later calls reuse the caches.  ``observe`` scopes a tracer
+    to the call (see :mod:`repro.observe`).
+
+    .. deprecated:: 1.2
+       Positional arguments and ``cell_names=`` warn; use ``cells=``.
     """
-    runner = PpaRunner()
-    return PpaComparison.from_results(runner.sweep(cell_names=cell_names))
+    cells = absorb_renamed("quick_ppa", "cell_names", cell_names,
+                           "cells", cells)
+    cells = absorb_positional("quick_ppa", args, ("cells",),
+                              {"cells": cells})["cells"]
+    runner = PpaRunner(parasitics=parasitics, dt=dt,
+                       engine=engine if engine is not None
+                       else default_engine(),
+                       observe=observe)
+    return PpaComparison.from_results(
+        runner.sweep(cells=cells, variants=variants))

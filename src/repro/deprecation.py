@@ -1,0 +1,63 @@
+"""Deprecation machinery for the 1.1 -> 1.2 API transition.
+
+The 1.2 public surface is keyword-only and engine-first (every entry
+point shares ``(*, cells=None, variants=None, parasitics=None,
+dt=DEFAULT_DT, engine=None, observe=None)``).  The 1.1 call shapes —
+positional arguments, the ``cell_names=``/``max_workers=`` keywords and
+engine-less ``PpaRunner()`` — keep working for one release through the
+helpers here, each emitting a :class:`DeprecationWarning` that names the
+replacement.  They are removed in 1.3.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Sequence, Tuple
+
+
+def warn_deprecated(message: str, stacklevel: int = 3) -> None:
+    """Emit a DeprecationWarning pointing at the caller's call site."""
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def absorb_positional(func_name: str, args: Tuple[Any, ...],
+                      legacy_order: Sequence[str],
+                      kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Map deprecated positional ``args`` onto keyword values.
+
+    ``legacy_order`` is the 1.1 positional parameter order.  Positional
+    values overwrite the keyword defaults (passing the *same* parameter
+    both ways is unsupported by the shim — 1.1 callers used one or the
+    other).  Returns ``kwargs`` updated in place; raises ``TypeError``
+    on arity overflow, matching what a real keyword-only signature
+    would do.
+    """
+    if not args:
+        return kwargs
+    if len(args) > len(legacy_order):
+        raise TypeError(
+            f"{func_name}() takes at most {len(legacy_order)} "
+            f"positional arguments ({len(args)} given)")
+    warn_deprecated(
+        f"positional arguments to {func_name}() are deprecated and will "
+        f"be removed in 1.3; call it with keywords "
+        f"({', '.join(f'{name}=' for name in legacy_order[:len(args)])})",
+        stacklevel=4)
+    for name, value in zip(legacy_order, args):
+        kwargs[name] = value
+    return kwargs
+
+
+def absorb_renamed(func_name: str, old_name: str, old_value: Any,
+                   new_name: str, new_value: Any) -> Any:
+    """Resolve a renamed keyword (``old_name`` -> ``new_name``).
+
+    Returns the effective value; warns when the deprecated spelling was
+    used.  The new spelling wins if both are given.
+    """
+    if old_value is None:
+        return new_value
+    warn_deprecated(
+        f"{func_name}({old_name}=...) is deprecated and will be removed "
+        f"in 1.3; use {new_name}=", stacklevel=4)
+    return new_value if new_value is not None else old_value

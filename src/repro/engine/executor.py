@@ -29,6 +29,7 @@ from repro.engine.fingerprint import combine_fingerprints, fingerprint
 from repro.engine.manifest import RunManifest, TaskRecord
 from repro.engine.stages import get_stage
 from repro.errors import ReproError
+from repro.observe import TIME_BUCKETS, activate, get_tracer, resolve_tracer
 
 #: Environment variable overriding the auto-detected worker count.
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
@@ -78,9 +79,16 @@ def resolve_worker_count(max_workers: Optional[int] = None) -> int:
     return max_workers
 
 
-def _execute_in_worker(stage_name: str, payload: Any,
-                       deps: Dict[str, Any]) -> Tuple[Any, str, float]:
-    """Pool-side task execution; returns (artifact, worker id, wall time).
+def _execute_in_worker(stage_name: str, payload: Any, deps: Dict[str, Any],
+                       observe: bool = False, task_id: str = "",
+                       ) -> Tuple[Any, str, float, Optional[Dict]]:
+    """Pool-side task execution.
+
+    Returns ``(artifact, worker id, wall time, observed)``; ``observed``
+    is the worker tracer's exported span/metric bundle when tracing is
+    on (the parent engine merges it into its own tracer, re-rooted
+    under the task's span — this is how spans nest across the
+    ``ProcessPoolExecutor`` boundary), else ``None``.
 
     Pipeline stages register at import time, so a spawn-started worker
     needs the defining module imported before lookup; fork-started
@@ -91,9 +99,19 @@ def _execute_in_worker(stage_name: str, payload: Any,
     except ImportError:
         pass
     stage = get_stage(stage_name)
-    start = time.perf_counter()
-    artifact = stage.compute(payload, deps)
-    return artifact, str(os.getpid()), time.perf_counter() - start
+    if not observe:
+        start = time.perf_counter()
+        artifact = stage.compute(payload, deps)
+        return artifact, str(os.getpid()), time.perf_counter() - start, None
+
+    from repro.observe import Tracer
+    tracer = Tracer()
+    with activate(tracer):
+        start = time.perf_counter()
+        with tracer.span("engine.compute", task=task_id, stage=stage_name):
+            artifact = stage.compute(payload, deps)
+        wall = time.perf_counter() - start
+    return artifact, str(os.getpid()), wall, tracer.export_records()
 
 
 class Engine:
@@ -108,16 +126,29 @@ class Engine:
     cache:
         Share an existing :class:`ArtifactCache`; by default each engine
         owns one resolved from ``cache_dir`` / ``REPRO_CACHE_DIR``.
+    observe:
+        Observability control: ``None`` inherits the active tracer
+        (``REPRO_TRACE`` env var by default), ``True``/``False`` force
+        tracing on/off, a path enables tracing and exports trace files
+        there after every run, a :class:`repro.observe.Tracer` records
+        into that instance.  Tracing never changes artefacts — only
+        what is recorded about producing them.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
                  cache: Optional[ArtifactCache] = None,
                  cache_dir: Optional[os.PathLike] = None,
-                 use_disk: bool = True):
+                 use_disk: bool = True,
+                 observe: Any = None):
         self.max_workers = resolve_worker_count(max_workers)
         self.cache = cache or ArtifactCache(cache_dir=cache_dir,
                                             use_disk=use_disk)
+        self.observe = observe
         self.last_manifest: Optional[RunManifest] = None
+
+    def _tracer(self):
+        """The tracer this engine's runs record into."""
+        return resolve_tracer(self.observe)
 
     # ------------------------------------------------------------------
     # graph preparation
@@ -165,6 +196,27 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[Task]) -> EngineRun:
         """Materialise every task's artefact, cheapest way available."""
+        tracer = self._tracer()
+        with activate(tracer):
+            with tracer.span("engine.run", tasks=len(tasks),
+                             max_workers=self.max_workers) as span:
+                result = self._run_traced(tasks)
+                if tracer.enabled:
+                    summary = result.manifest.summary()
+                    span.set(cache_hits=summary["cache_hits"],
+                             computed=summary["computed"])
+                    tracer.counter("engine.tasks").inc(summary["tasks"])
+                    tracer.counter("engine.cache_hits").inc(
+                        summary["cache_hits"])
+                    tracer.counter("engine.computed").inc(
+                        summary["computed"])
+                    tracer.gauge("engine.cache.hit_rate").set(
+                        result.manifest.hit_rate())
+        if tracer.enabled and tracer.out_dir is not None:
+            tracer.export_all()
+        return result
+
+    def _run_traced(self, tasks: Sequence[Task]) -> EngineRun:
         run_start = time.perf_counter()
         order = self._topological_order(tasks)
         keys = self.task_keys(order)
@@ -172,17 +224,7 @@ class Engine:
 
         pending: List[Task] = []
         for task in order:
-            stage = get_stage(task.stage)
-            lookup_start = time.perf_counter()
-            artifact, layer = self.cache.get(keys[task.id], stage)
-            if layer is not None:
-                result.artifacts[task.id] = artifact
-                result.manifest.add(TaskRecord(
-                    task_id=task.id, stage=task.stage, key=keys[task.id],
-                    cache=layer,
-                    wall_time=time.perf_counter() - lookup_start,
-                    worker="cache"))
-            else:
+            if not self._try_cache(task, keys[task.id], result):
                 pending.append(task)
 
         if pending:
@@ -195,13 +237,28 @@ class Engine:
         self.last_manifest = result.manifest
         return result
 
+    @staticmethod
+    def _observe_record(record: TaskRecord, **extra: Any) -> None:
+        """Fold a manifest record into the trace's event stream."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        tracer.event("engine.task", task=record.task_id, stage=record.stage,
+                     cache=record.cache, wall_time=record.wall_time,
+                     worker=record.worker, **extra)
+        if record.cache_hit:
+            tracer.counter(f"engine.cache_hits.{record.cache}").inc()
+
     def _record_computed(self, task: Task, key: str, artifact: Any,
-                         worker: str, wall: float, result: EngineRun) -> None:
+                         worker: str, wall: float, result: EngineRun,
+                         **extra: Any) -> None:
         self.cache.put(key, get_stage(task.stage), artifact)
         result.artifacts[task.id] = artifact
-        result.manifest.add(TaskRecord(
+        record = TaskRecord(
             task_id=task.id, stage=task.stage, key=key, cache="miss",
-            wall_time=wall, worker=worker))
+            wall_time=wall, worker=worker)
+        result.manifest.add(record)
+        self._observe_record(record, **extra)
 
     def _dep_artifacts(self, task: Task, result: EngineRun) -> Dict[str, Any]:
         return {dep: result.artifacts[dep] for dep in task.deps}
@@ -214,28 +271,36 @@ class Engine:
         if layer is None:
             return False
         result.artifacts[task.id] = artifact
-        result.manifest.add(TaskRecord(
+        record = TaskRecord(
             task_id=task.id, stage=task.stage, key=key, cache=layer,
-            wall_time=time.perf_counter() - start, worker="cache"))
+            wall_time=time.perf_counter() - start, worker="cache")
+        result.manifest.add(record)
+        self._observe_record(record)
         return True
 
     def _run_serial(self, pending: Sequence[Task], keys: Dict[str, str],
                     result: EngineRun) -> None:
+        tracer = get_tracer()
         for task in pending:
             # an earlier same-key task may have materialised it already
             if self._try_cache(task, keys[task.id], result):
                 continue
             stage = get_stage(task.stage)
             start = time.perf_counter()
-            artifact = stage.compute(task.payload,
-                                     self._dep_artifacts(task, result))
+            with tracer.span("engine.compute", task=task.id,
+                             stage=task.stage):
+                artifact = stage.compute(task.payload,
+                                         self._dep_artifacts(task, result))
             self._record_computed(task, keys[task.id], artifact, "main",
                                   time.perf_counter() - start, result)
 
     def _run_parallel(self, pending: Sequence[Task], keys: Dict[str, str],
                       result: EngineRun) -> None:
+        tracer = get_tracer()
+        observing = tracer.enabled
         waiting = {task.id: task for task in pending}
         futures = {}
+        submit_times: Dict[str, float] = {}
         inflight_keys = set()
         try:
             context = multiprocessing.get_context("fork")
@@ -266,19 +331,37 @@ class Engine:
                             continue
                         del waiting[task_id]
                         inflight_keys.add(key)
+                        if observing:
+                            submit_times[task_id] = time.perf_counter()
+                            tracer.event("engine.task.submit", task=task_id,
+                                         stage=task.stage)
                         futures[pool.submit(
                             _execute_in_worker, task.stage, task.payload,
-                            self._dep_artifacts(task, result))] = task
+                            self._dep_artifacts(task, result),
+                            observing, task_id)] = task
 
             submit_ready()
             while futures:
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     task = futures.pop(future)
-                    artifact, worker, wall = future.result()
+                    artifact, worker, wall, observed = future.result()
                     inflight_keys.discard(keys[task.id])
+                    extra = {}
+                    if observing:
+                        # Queue latency: time the finished task spent
+                        # waiting for a pool slot plus serialisation,
+                        # i.e. everything between submit and compute.
+                        elapsed = (time.perf_counter()
+                                   - submit_times.pop(task.id))
+                        queue_s = max(elapsed - wall, 0.0)
+                        extra["queue_s"] = queue_s
+                        tracer.histogram("engine.queue_latency_s",
+                                         TIME_BUCKETS).observe(queue_s)
+                        if observed is not None:
+                            tracer.merge_records(observed)
                     self._record_computed(task, keys[task.id], artifact,
-                                          worker, wall, result)
+                                          worker, wall, result, **extra)
                 submit_ready()
 
 

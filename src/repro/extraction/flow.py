@@ -12,6 +12,7 @@ from repro.extraction.error import region_error_percent
 from repro.extraction.optimizer import fit_parameters
 from repro.extraction.stages import ExtractionStage, default_stage_sequence
 from repro.extraction.targets import DeviceTargets
+from repro.observe import get_tracer
 
 
 @dataclass
@@ -102,15 +103,24 @@ class ExtractionFlow:
         )
         stage_rms: Dict[str, float] = {}
         params = self.initial
-        for stage in self.stages * self.passes:
-            template = BsimSoi4Lite(params=params, polarity=model.polarity,
-                                    width=model.width, length=model.length,
-                                    t_si=model.t_si, t_ox=model.t_ox,
-                                    name=model.name)
-            residual_fn = stage.residual_fn(template, targets)
-            params, rms = fit_parameters(params, stage.parameter_names,
-                                         residual_fn)
-            stage_rms[stage.name] = rms
+        tracer = get_tracer()
+        with tracer.span("extraction.device", device=model.name,
+                         passes=self.passes):
+            for stage in self.stages * self.passes:
+                template = BsimSoi4Lite(params=params,
+                                        polarity=model.polarity,
+                                        width=model.width,
+                                        length=model.length,
+                                        t_si=model.t_si, t_ox=model.t_ox,
+                                        name=model.name)
+                residual_fn = stage.residual_fn(template, targets)
+                with tracer.span("extraction.stage", stage=stage.name,
+                                 device=model.name) as stage_span:
+                    params, rms = fit_parameters(params,
+                                                 stage.parameter_names,
+                                                 residual_fn)
+                    stage_span.set(rms=rms)
+                stage_rms[stage.name] = rms
 
         fitted = BsimSoi4Lite(params=params, polarity=model.polarity,
                               width=model.width, length=model.length,

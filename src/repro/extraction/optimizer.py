@@ -15,6 +15,7 @@ from scipy.optimize import least_squares
 
 from repro.errors import ExtractionError
 from repro.compact.parameters import PARAMETER_SPECS, ParameterSet
+from repro.observe import EVALUATION_BUCKETS, get_tracer
 
 ResidualFn = Callable[[Dict[str, float]], np.ndarray]
 
@@ -43,7 +44,11 @@ def fit_parameters(base: ParameterSet, names: List[str],
     x0 = (np.array([base[n] for n in names]) - lower) / span
     x0 = np.clip(x0, 0.0, 1.0)
 
+    evaluations = 0
+
     def wrapped(x: np.ndarray) -> np.ndarray:
+        nonlocal evaluations
+        evaluations += 1
         values = dict(zip(names, lower + np.clip(x, 0.0, 1.0) * span))
         residuals = residual_fn(values)
         if not np.all(np.isfinite(residuals)):
@@ -52,10 +57,21 @@ def fit_parameters(base: ParameterSet, names: List[str],
                                       posinf=1e3, neginf=-1e3)
         return residuals
 
-    result = least_squares(
-        wrapped, x0, bounds=(np.zeros_like(x0), np.ones_like(x0)),
-        max_nfev=max_evaluations, xtol=1e-10, ftol=1e-10, gtol=1e-10,
-        diff_step=1e-4)
-    fitted = dict(zip(names, lower + np.clip(result.x, 0.0, 1.0) * span))
-    rms = float(np.sqrt(np.mean(result.fun ** 2))) if result.fun.size else 0.0
+    tracer = get_tracer()
+    with tracer.span("extraction.fit",
+                     parameters=",".join(names)) as fit_span:
+        result = least_squares(
+            wrapped, x0, bounds=(np.zeros_like(x0), np.ones_like(x0)),
+            max_nfev=max_evaluations, xtol=1e-10, ftol=1e-10, gtol=1e-10,
+            diff_step=1e-4)
+        fitted = dict(zip(names, lower + np.clip(result.x, 0.0, 1.0) * span))
+        rms = (float(np.sqrt(np.mean(result.fun ** 2)))
+               if result.fun.size else 0.0)
+        if tracer.enabled:
+            fit_span.set(evaluations=evaluations, rms=rms)
+            tracer.counter("extraction.optimizer.fits").inc()
+            tracer.counter("extraction.optimizer.evaluations").inc(
+                evaluations)
+            tracer.histogram("extraction.optimizer.evaluations_per_fit",
+                             EVALUATION_BUCKETS).observe(evaluations)
     return base.updated(fitted), rms

@@ -1,5 +1,9 @@
 """End-to-end pipelines."""
 
-from repro.flows.full_flow import FullFlowResult, run_full_flow
+from repro.flows.full_flow import (
+    FullFlowResult,
+    run_extractions,
+    run_full_flow,
+)
 
-__all__ = ["FullFlowResult", "run_full_flow"]
+__all__ = ["FullFlowResult", "run_extractions", "run_full_flow"]

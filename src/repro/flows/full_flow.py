@@ -20,6 +20,8 @@ from typing import List, Optional
 from repro.cells.library import CELL_NAMES
 from repro.cells.netlist_builder import Parasitics
 from repro.cells.variants import DeviceVariant
+from repro.deprecation import absorb_positional, absorb_renamed, \
+    warn_deprecated
 from repro.engine import Engine, RunManifest, default_engine
 from repro.engine.pipeline import (
     cell_ppa_tasks,
@@ -30,6 +32,7 @@ from repro.extraction.results import ExtractionReport
 from repro.geometry.process import ProcessParameters
 from repro.geometry.transistor_layout import ChannelCount
 from repro.layout.report import AreaReport, build_area_report
+from repro.observe import maybe_activate
 from repro.ppa.comparison import PpaComparison
 from repro.ppa.runner import DEFAULT_DT
 from repro.tcad.device import Polarity
@@ -83,58 +86,95 @@ def _resolve_engine(engine: Optional[Engine],
     if engine is not None:
         return engine
     if max_workers is not None:
+        warn_deprecated(
+            "max_workers= is deprecated and will be removed in 1.3; pass "
+            "engine=Engine(max_workers=...) instead", stacklevel=4)
         return Engine(max_workers=max_workers, cache=default_engine().cache)
     return default_engine()
 
 
-def run_extractions(variants: Optional[List[ChannelCount]] = None,
+def run_extractions(*args,
+                    variants: Optional[List[ChannelCount]] = None,
                     process: Optional[ProcessParameters] = None,
                     engine: Optional[Engine] = None,
+                    observe=None,
                     max_workers: Optional[int] = None) -> ExtractionReport:
     """Extract compact models for every (variant, polarity) pair.
 
     All (variant, polarity) extractions are independent, so a parallel
-    engine characterises and fits them concurrently.
+    engine characterises and fits them concurrently.  ``observe``
+    scopes a tracer to this call (see :mod:`repro.observe`).
+
+    .. deprecated:: 1.2
+       Positional arguments and ``max_workers=`` warn; pass keywords
+       and ``engine=Engine(max_workers=...)``.
     """
-    variants = variants or list(ChannelCount)
-    engine = _resolve_engine(engine, max_workers)
-    pairs = [extraction_tasks(variant, polarity, process)
+    kwargs = absorb_positional(
+        "run_extractions", args,
+        ("variants", "process", "engine", "max_workers"),
+        {"variants": variants, "process": process, "engine": engine,
+         "max_workers": max_workers})
+    variants = kwargs["variants"] or list(ChannelCount)
+    engine = _resolve_engine(kwargs["engine"], kwargs["max_workers"])
+    pairs = [extraction_tasks(variant, polarity, kwargs["process"])
              for variant in variants
              for polarity in (Polarity.NMOS, Polarity.PMOS)]
-    run = engine.run(merge_tasks(*[support for _, support in pairs]))
+    with maybe_activate(observe):
+        run = engine.run(merge_tasks(*[support for _, support in pairs]))
     return ExtractionReport([run[task.id] for task, _ in pairs])
 
 
-def run_full_flow(cell_names: Optional[List[str]] = None,
+def run_full_flow(*args,
+                  cells: Optional[List[str]] = None,
                   variants: Optional[List[DeviceVariant]] = None,
                   extraction_variants: Optional[List[ChannelCount]] = None,
                   process: Optional[ProcessParameters] = None,
                   parasitics: Optional[Parasitics] = None,
                   dt: float = DEFAULT_DT,
                   engine: Optional[Engine] = None,
+                  observe=None,
+                  cell_names: Optional[List[str]] = None,
                   max_workers: Optional[int] = None) -> FullFlowResult:
     """Run the whole pipeline as one engine task graph.
 
-    ``cell_names`` defaults to all 14 cells (several minutes of cold
-    serial simulation); pass a subset for a faster run.  ``max_workers``
-    overrides the engine width (1 forces deterministic serial mode);
-    results are bit-identical either way, only the wall time and the
-    manifest's worker ids differ.
+    ``cells`` defaults to all 14 cells (several minutes of cold serial
+    simulation); pass a subset for a faster run.  Results are
+    bit-identical across engine widths, only the wall time and the
+    manifest's worker ids differ.  ``observe`` scopes a tracer to this
+    call (see :mod:`repro.observe`).
+
+    .. deprecated:: 1.2
+       Positional arguments, ``cell_names=`` and ``max_workers=`` warn;
+       use ``cells=`` and ``engine=Engine(max_workers=...)``.
     """
-    cells = cell_names or list(CELL_NAMES)
-    channel_variants = extraction_variants or list(ChannelCount)
-    cell_variants = variants or list(DeviceVariant)
-    engine = _resolve_engine(engine, max_workers)
+    cells = absorb_renamed("run_full_flow", "cell_names", cell_names,
+                           "cells", cells)
+    kwargs = absorb_positional(
+        "run_full_flow", args,
+        ("cells", "variants", "extraction_variants", "process",
+         "parasitics", "dt", "engine", "max_workers"),
+        {"cells": cells, "variants": variants,
+         "extraction_variants": extraction_variants, "process": process,
+         "parasitics": parasitics, "dt": dt, "engine": engine,
+         "max_workers": max_workers})
+    cells = kwargs["cells"] or list(CELL_NAMES)
+    channel_variants = kwargs["extraction_variants"] or list(ChannelCount)
+    cell_variants = kwargs["variants"] or list(DeviceVariant)
+    process = kwargs["process"]
+    dt = kwargs["dt"] if kwargs["dt"] is not None else DEFAULT_DT
+    engine = _resolve_engine(kwargs["engine"], kwargs["max_workers"])
 
     extraction_pairs = [extraction_tasks(variant, polarity, process)
                         for variant in channel_variants
                         for polarity in (Polarity.NMOS, Polarity.PMOS)]
-    ppa_pairs = [cell_ppa_tasks(cell, variant, parasitics, dt, process)
+    ppa_pairs = [cell_ppa_tasks(cell, variant, kwargs["parasitics"], dt,
+                                process)
                  for cell in cells for variant in cell_variants]
     graph = merge_tasks(*[support for _, support in extraction_pairs],
                         *[support for _, support in ppa_pairs])
 
-    run = engine.run(graph)
+    with maybe_activate(observe):
+        run = engine.run(graph)
     extraction = ExtractionReport(
         [run[task.id] for task, _ in extraction_pairs])
     results = [run[task.id] for task, _ in ppa_pairs]

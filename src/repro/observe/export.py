@@ -1,0 +1,135 @@
+"""Trace exports: Chrome trace JSON, JSON-lines events, text summary.
+
+Three consumers, three formats:
+
+* ``chrome_trace`` — a ``chrome://tracing`` / Perfetto-loadable JSON
+  object (``traceEvents`` with complete ``"X"`` spans and instant
+  ``"i"`` events, microsecond timestamps, one row per process);
+* ``write_jsonl`` — every span, event and metric as one JSON object per
+  line, in timestamp order, for grep/jq pipelines;
+* ``summary_table`` — the human-readable roll-up: per-span-name
+  aggregates plus every counter, gauge and histogram.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observe.tracer import Tracer
+
+
+def chrome_trace(tracer: "Tracer") -> Dict[str, Any]:
+    """Render the tracer's records as a Chrome trace object."""
+    trace_events: List[Dict[str, Any]] = []
+    pids = sorted({r["pid"] for r in tracer.spans + tracer.events})
+    for pid in pids:
+        trace_events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"repro pid {pid}"},
+        })
+    for span in tracer.spans:
+        trace_events.append({
+            "name": span["name"],
+            "cat": span["name"].split(".")[0],
+            "ph": "X",
+            "ts": span["ts"] * 1e6,
+            "dur": span["dur"] * 1e6,
+            "pid": span["pid"],
+            "tid": 0,
+            "args": span["args"],
+        })
+    for event in tracer.events:
+        trace_events.append({
+            "name": event["name"],
+            "cat": event["name"].split(".")[0],
+            "ph": "i",
+            "s": "p",
+            "ts": event["ts"] * 1e6,
+            "pid": event["pid"],
+            "tid": 0,
+            "args": event["args"],
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: "Tracer", path: os.PathLike) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer), handle)
+    return path
+
+
+def write_jsonl(tracer: "Tracer", path: os.PathLike) -> Path:
+    """Write spans + events (by timestamp) then metrics as JSON lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = sorted(tracer.spans + tracer.events, key=lambda r: r["ts"])
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True, default=str)
+                         + "\n")
+        for name, data in tracer.metrics.snapshot().items():
+            handle.write(json.dumps({"kind": "metric", "name": name, **data},
+                                    sort_keys=True) + "\n")
+    return path
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def summary_table(tracer: "Tracer") -> str:
+    """The plain-text roll-up of one traced run."""
+    lines: List[str] = []
+
+    by_name: Dict[str, List[Dict[str, Any]]] = {}
+    for span in tracer.spans:
+        by_name.setdefault(span["name"], []).append(span)
+    if by_name:
+        lines.append("spans:")
+        lines.append(f"  {'name':<28} {'count':>7} {'total_s':>10} "
+                     f"{'mean_s':>10} {'max_s':>10}")
+        for name in sorted(by_name):
+            durs = [s["dur"] for s in by_name[name]]
+            lines.append(
+                f"  {name:<28} {len(durs):>7} {sum(durs):>10.4f} "
+                f"{sum(durs) / len(durs):>10.4f} {max(durs):>10.4f}")
+
+    snapshot = tracer.metrics.snapshot()
+    counters = {n: d for n, d in snapshot.items() if d["type"] == "counter"}
+    gauges = {n: d for n, d in snapshot.items() if d["type"] == "gauge"}
+    histograms = {n: d for n, d in snapshot.items()
+                  if d["type"] == "histogram"}
+
+    if counters:
+        lines.append("counters:")
+        for name, data in counters.items():
+            lines.append(f"  {name:<40} {_format_value(data['value']):>12}")
+    if gauges:
+        lines.append("gauges:")
+        for name, data in gauges.items():
+            value = data["value"]
+            lines.append(f"  {name:<40} "
+                         f"{_format_value(value) if value is not None else '-':>12}")
+    if histograms:
+        lines.append("histograms:")
+        lines.append(f"  {'name':<34} {'count':>8} {'mean':>10} "
+                     f"{'min':>10} {'max':>10}")
+        for name, data in histograms.items():
+            count = data["count"]
+            mean = data["total"] / count if count else 0.0
+            fmt = lambda v: _format_value(v) if v is not None else "-"
+            lines.append(f"  {name:<34} {count:>8} {_format_value(mean):>10} "
+                         f"{fmt(data['min']):>10} {fmt(data['max']):>10}")
+
+    if not lines:
+        return "(no observations recorded)"
+    return "\n".join(lines)

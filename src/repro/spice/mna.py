@@ -7,6 +7,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import SingularMatrixError
+from repro.observe import get_tracer
 from repro.spice.netlist import Circuit
 from repro.spice.elements.base import Stamper
 
@@ -63,6 +64,9 @@ class MnaAssembler:
     @staticmethod
     def solve_linear(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         """Dense solve with a clear diagnosis of singular systems."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("spice.mna.solves").inc()
         try:
             return np.linalg.solve(matrix, rhs)
         except np.linalg.LinAlgError as exc:

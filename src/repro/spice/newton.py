@@ -7,6 +7,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.observe import get_tracer
 from repro.spice.mna import MnaAssembler
 
 #: Maximum Newton iterations.
@@ -30,11 +31,14 @@ def newton_solve(assembler: MnaAssembler, x0: np.ndarray, time: float,
     with strong damping.  Raises :class:`ConvergenceError` with
     diagnostics when both fail.
     """
+    tracer = get_tracer()
+    total_iterations = 0
     residual = float("inf")
     for max_step, iterations in ((MAX_STEP, MAX_ITERATIONS),
                                  (MAX_STEP / 8.0, 4 * MAX_ITERATIONS)):
         x = x0.copy()
         for _ in range(iterations):
+            total_iterations += 1
             stamper = assembler.assemble_static(x, time)
             if extra_system is not None:
                 extra_system(x, stamper)
@@ -42,6 +46,14 @@ def newton_solve(assembler: MnaAssembler, x0: np.ndarray, time: float,
             delta = x_new - x
             residual = float(np.max(np.abs(delta))) if delta.size else 0.0
             if residual <= V_TOLERANCE:
+                if tracer.enabled:
+                    tracer.counter("spice.newton.solves").inc()
+                    tracer.counter("spice.newton.iterations").inc(
+                        total_iterations)
+                    tracer.histogram(
+                        "spice.newton.iterations_per_solve").observe(
+                        total_iterations)
+                    tracer.gauge("spice.newton.last_residual").set(residual)
                 return x_new
             # Damp only node voltages; branch currents may move freely.
             step = delta.copy()

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.observe import get_tracer
 from repro.spice.dcop import solve_dc
 from repro.spice.elements.vsource import VoltageSource
 from repro.spice.mna import MnaAssembler
@@ -97,6 +98,16 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     """
     if method not in ("be", "trap"):
         raise SimulationError(f"unknown integration method {method!r}")
+    with get_tracer().span("spice.transient", method=method,
+                           t_stop=t_stop, dt=dt) as tspan:
+        result = _transient_traced(circuit, t_stop, dt, method,
+                                   record_nodes, tspan)
+    return result
+
+
+def _transient_traced(circuit: Circuit, t_stop: float, dt: float,
+                      method: str, record_nodes: Optional[List[str]],
+                      tspan) -> TransientResult:
     assembler = MnaAssembler(circuit)
 
     breakpoints: List[float] = []
@@ -141,6 +152,15 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
             i_prev = coeff * (q_new - q_prev) - i_prev
         q_prev = q_new
         record(k, x)
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tspan.set(steps=n_steps, unknowns=assembler.n_unknowns)
+        tracer.counter("spice.transient.runs").inc()
+        tracer.counter("spice.transient.timesteps").inc(n_steps)
+        tracer.histogram("spice.transient.steps_per_run",
+                         edges=(64, 128, 256, 512, 1024, 2048, 4096,
+                                8192)).observe(n_steps)
 
     return TransientResult(
         times=grid,

@@ -28,6 +28,7 @@ from scipy.linalg import solve_banded
 from repro.constants import Q, thermal_voltage
 from repro.errors import ConvergenceError, MeshError
 from repro.materials import SILICON
+from repro.observe import get_tracer
 
 
 def bernoulli(x: np.ndarray) -> np.ndarray:
@@ -209,6 +210,14 @@ class DriftDiffusion1D:
             # The first pass only establishes self-consistency between
             # psi and phi_n; never declare convergence on it.
             if change < 1e-9 and iteration > 1:
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.counter("tcad.dd1d.solves").inc()
+                    tracer.counter("tcad.dd1d.gummel_iterations").inc(
+                        iteration)
+                    tracer.histogram(
+                        "tcad.dd1d.gummel_iterations_per_solve").observe(
+                        iteration)
                 return DDSolution(self.x.copy(), psi, n,
                                   self._current(psi, n), iteration)
         raise ConvergenceError("Gummel loop did not converge",

@@ -29,6 +29,7 @@ from scipy.linalg import solve_banded
 from repro.constants import Q, thermal_voltage
 from repro.errors import ConvergenceError
 from repro.materials import SILICON, SILICON_DIOXIDE
+from repro.observe import get_tracer
 from repro.tcad.mesh import Mesh1D, Region
 from repro.tcad.statistics import boltzmann_n, boltzmann_p, fermi_correction
 
@@ -189,6 +190,14 @@ class Poisson1D:
             psi += step
             residual = float(np.max(np.abs(delta)))
             if residual < self.TOLERANCE:
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.counter("tcad.poisson1d.solves").inc()
+                    tracer.counter("tcad.poisson1d.iterations").inc(iteration)
+                    tracer.histogram(
+                        "tcad.poisson1d.iterations_per_solve").observe(
+                        iteration)
+                    tracer.gauge("tcad.poisson1d.last_residual").set(residual)
                 return self._package(psi, v_channel, cond, iteration)
 
         raise ConvergenceError(

@@ -17,6 +17,7 @@ from scipy.sparse import lil_matrix
 from scipy.sparse.linalg import spsolve
 
 from repro.errors import MeshError, SimulationError
+from repro.observe import get_tracer
 
 
 @dataclass
@@ -127,7 +128,10 @@ class Poisson2D:
         if not self._dirichlet:
             raise SimulationError("need at least one electrode to pin the "
                                   "potential (singular system otherwise)")
-        solution = spsolve(matrix.tocsr(), rhs)
+        with get_tracer().span("tcad.poisson2d.solve", nodes=n,
+                               nx=g.nx, ny=g.ny,
+                               electrodes=len(self._dirichlet)):
+            solution = spsolve(matrix.tocsr(), rhs)
         return solution.reshape((g.ny, g.nx))
 
     def field_magnitude(self, psi: np.ndarray) -> np.ndarray:

@@ -15,6 +15,7 @@ from repro.engine import Engine
 from repro.engine.pipeline import STAGE_EXTRACTION, STAGE_TARGETS
 from repro.flows.full_flow import run_full_flow
 from repro.geometry.transistor_layout import ChannelCount
+from repro.observe import Tracer
 
 pytestmark = pytest.mark.engine
 
@@ -24,9 +25,10 @@ VARIANTS = [DeviceVariant.TWO_D, DeviceVariant.MIV_1CH,
 DEVICES = [ChannelCount.TRADITIONAL, ChannelCount.ONE, ChannelCount.TWO]
 
 
-def _flow(engine):
-    return run_full_flow(cell_names=CELLS, variants=VARIANTS,
-                         extraction_variants=DEVICES, engine=engine)
+def _flow(engine, observe=None):
+    return run_full_flow(cells=CELLS, variants=VARIANTS,
+                         extraction_variants=DEVICES, engine=engine,
+                         observe=observe)
 
 
 @pytest.fixture(scope="module")
@@ -70,14 +72,88 @@ def test_warm_disk_cache_skips_all_tcad_and_extraction(serial_cold):
     assert warm.headline() == serial.headline()
 
 
-def test_max_workers_shortcut_shares_default_cache():
-    # the max_workers override must reuse the process-default cache, so
-    # artefacts of one call are visible to the next regardless of the
-    # per-call worker setting
-    cold = run_full_flow(cell_names=CELLS, variants=VARIANTS,
-                         extraction_variants=DEVICES, max_workers=1)
-    assert cold.manifest.max_workers == 1
-    warm = run_full_flow(cell_names=CELLS, variants=VARIANTS,
-                         extraction_variants=DEVICES, max_workers=1)
+def test_explicit_engine_width_shares_cache(serial_cold):
+    # two engines over one cache directory must reuse each other's
+    # artefacts regardless of the per-engine worker setting
+    serial, cache_dir = serial_cold
+    warm = _flow(Engine(max_workers=4, cache_dir=cache_dir))
     assert warm.manifest.hit_rate() == 1.0
-    assert warm.headline() == cold.headline()
+    assert warm.headline() == serial.headline()
+
+
+@pytest.fixture(scope="module")
+def traced_serial(tmp_path_factory):
+    tracer = Tracer()
+    result = _flow(Engine(max_workers=1,
+                          cache_dir=tmp_path_factory.mktemp("traced_s")),
+                   observe=tracer)
+    return result, tracer
+
+
+@pytest.fixture(scope="module")
+def traced_parallel(tmp_path_factory):
+    tracer = Tracer()
+    result = _flow(Engine(max_workers=4,
+                          cache_dir=tmp_path_factory.mktemp("traced_p")),
+                   observe=tracer)
+    return result, tracer
+
+
+def test_tracing_does_not_change_results(serial_cold, traced_serial,
+                                         traced_parallel):
+    # observe= must be a pure observer: serial and parallel traced runs
+    # reproduce the untraced numbers bit-identically
+    serial, _ = serial_cold
+    for traced, _tracer in (traced_serial, traced_parallel):
+        assert traced.headline() == serial.headline()
+        for cell in CELLS:
+            for variant in VARIANTS:
+                for metric in ("delay", "power", "area"):
+                    assert traced.ppa.value(cell, variant, metric) == \
+                        serial.ppa.value(cell, variant, metric)
+
+
+def test_traced_flow_records_hot_path_metrics(traced_serial):
+    # the cold traced flow must surface every instrumented hot path:
+    # Newton solves, optimizer evaluations, MNA factorisations, engine
+    # cache accounting — all of it visible in the summary table
+    _, tracer = traced_serial
+    snapshot = tracer.metrics.snapshot()
+    assert snapshot["spice.newton.iterations"]["value"] > 0
+    assert snapshot["spice.mna.solves"]["value"] > 0
+    assert snapshot["extraction.optimizer.evaluations"]["value"] > 0
+    assert snapshot["tcad.poisson1d.iterations"]["value"] > 0
+    assert snapshot["engine.computed"]["value"] == \
+        snapshot["engine.tasks"]["value"]
+    assert snapshot["engine.cache.hit_rate"]["value"] == 0.0
+    summary = tracer.summary()
+    for needle in ("engine.run", "spice.newton.iterations",
+                   "extraction.optimizer.evaluations", "spice.mna.solves",
+                   "engine.cache.hit_rate"):
+        assert needle in summary
+
+
+def test_traced_flow_chrome_trace_loads(traced_serial, tmp_path):
+    import json
+    _, tracer = traced_serial
+    path = tracer.write_chrome_trace(tmp_path / "trace.json")
+    data = json.loads(path.read_text())
+    names = {e.get("name") for e in data["traceEvents"]}
+    assert "engine.run" in names
+    assert "spice.transient" in names
+    assert "extraction.fit" in names
+
+
+def test_parallel_traced_flow_merges_worker_spans(traced_parallel):
+    import os
+    _, tracer = traced_parallel
+    pids = {s["pid"] for s in tracer.spans}
+    assert len(pids) > 1, "expected spans shipped back from pool workers"
+    # worker top-level spans were re-rooted under a parent-side span
+    main_ids = {s["id"] for s in tracer.spans
+                if s["pid"] == os.getpid()}
+    worker_spans = [s for s in tracer.spans if s["pid"] != os.getpid()]
+    worker_ids = {s["id"] for s in worker_spans}
+    for span in worker_spans:
+        assert span["parent"] in main_ids | worker_ids
+    assert tracer.metrics.snapshot()["spice.newton.solves"]["value"] > 0

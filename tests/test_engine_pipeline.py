@@ -88,11 +88,15 @@ def test_ppa_key_includes_parasitics_and_dt():
 
 def test_ppa_runner_instances_with_equal_settings_share_keys():
     from repro.ppa.runner import PpaRunner
-    assert PpaRunner().parasitics == Parasitics()
+
+    def runner():
+        return PpaRunner(engine=default_engine())
+
+    assert runner().parasitics == Parasitics()
     a, _ = cell_ppa_tasks("INV1X1", DeviceVariant.TWO_D,
-                          PpaRunner().parasitics, PpaRunner().dt)
+                          runner().parasitics, runner().dt)
     b, _ = cell_ppa_tasks("INV1X1", DeviceVariant.TWO_D,
-                          PpaRunner().parasitics, PpaRunner().dt)
+                          runner().parasitics, runner().dt)
     assert a == b
 
 

@@ -8,7 +8,7 @@ from repro.flows.full_flow import FullFlowResult, run_full_flow
 
 @pytest.fixture(scope="module")
 def flow_result():
-    return run_full_flow(cell_names=["INV1X1"])
+    return run_full_flow(cells=["INV1X1"])
 
 
 def test_flow_bundles_all_artefacts(flow_result):

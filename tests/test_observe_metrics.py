@@ -1,0 +1,115 @@
+"""Unit tests for the deterministic metrics registry."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observe import (
+    EVALUATION_BUCKETS,
+    ITERATION_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    registry.counter("a").inc(2.5)
+    assert registry.counter("a").value == 3.5
+    assert registry.snapshot()["a"] == {"type": "counter", "value": 3.5}
+
+
+def test_gauge_last_value_wins():
+    registry = MetricsRegistry()
+    registry.gauge("g").set(1.0)
+    registry.gauge("g").set(0.25)
+    assert registry.snapshot()["g"] == {"type": "gauge", "value": 0.25}
+
+
+def test_histogram_buckets_are_deterministic():
+    # bucket placement depends only on the fixed edges, never the data
+    histogram = Histogram("h", edges=(1, 2, 5))
+    for value in (0.5, 1.0, 1.5, 2.0, 3.0, 100.0):
+        histogram.observe(value)
+    # bisect_left on upper bounds: bucket i holds values in (edge_{i-1},
+    # edge_i]; the trailing bucket is the overflow
+    assert histogram.counts == [2, 2, 1, 1]
+    assert histogram.count == 6
+    assert histogram.min == 0.5
+    assert histogram.max == 100.0
+    assert histogram.mean == pytest.approx(108.0 / 6)
+
+
+def test_histogram_rejects_unsorted_edges():
+    with pytest.raises(ReproError):
+        Histogram("bad", edges=(5, 1))
+    with pytest.raises(ReproError):
+        Histogram("bad", edges=(1, 1, 2))
+
+
+def test_histogram_edge_identity_enforced():
+    registry = MetricsRegistry()
+    registry.histogram("h", ITERATION_BUCKETS)
+    with pytest.raises(ReproError):
+        registry.histogram("h", EVALUATION_BUCKETS)
+
+
+def test_snapshot_is_sorted_and_json_round_trips():
+    import json
+    registry = MetricsRegistry()
+    registry.counter("z").inc()
+    registry.counter("a").inc()
+    registry.histogram("m", (1, 2)).observe(1)
+    snapshot = registry.snapshot()
+    # deterministic order: sorted within each instrument kind
+    by_kind = {}
+    for name, data in snapshot.items():
+        by_kind.setdefault(data["type"], []).append(name)
+    for names in by_kind.values():
+        assert names == sorted(names)
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+def test_merge_adds_counters_and_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for registry, n in ((a, 2), (b, 3)):
+        registry.counter("c").inc(n)
+        h = registry.histogram("h", (1, 10))
+        for _ in range(n):
+            h.observe(n)
+        registry.gauge("g").set(n)
+    a.merge(b.snapshot())
+    assert a.counter("c").value == 5
+    merged = a.histogram("h", (1, 10))
+    assert merged.count == 5
+    assert merged.total == 2 * 2 + 3 * 3
+    assert merged.min == 2 and merged.max == 3
+    # gauges take the incoming (more recent) value
+    assert a.gauge("g").value == 3
+
+
+def test_merge_is_order_independent_for_additive_instruments():
+    def registry_with(values):
+        registry = MetricsRegistry()
+        for v in values:
+            registry.counter("c").inc(v)
+            registry.histogram("h", (1, 5, 25)).observe(v)
+        return registry
+
+    parts = [registry_with([1, 2]), registry_with([7]), registry_with([3, 30])]
+    forward, backward = MetricsRegistry(), MetricsRegistry()
+    for part in parts:
+        forward.merge(part.snapshot())
+    for part in reversed(parts):
+        backward.merge(part.snapshot())
+    f, b = forward.snapshot(), backward.snapshot()
+    assert f["c"] == b["c"]
+    assert f["h"] == b["h"]
+
+
+def test_merge_rejects_edge_mismatch():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("h", (1, 2)).observe(1)
+    b.histogram("h", (1, 3)).observe(1)
+    with pytest.raises(ReproError):
+        a.merge(b.snapshot())

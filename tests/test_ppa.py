@@ -7,6 +7,7 @@ NAND) exercise the whole delay/power/area path.
 import pytest
 
 from repro.cells.library import get_cell
+from repro.engine import default_engine
 from repro.cells.variants import DeviceVariant
 from repro.errors import SimulationError
 from repro.ppa.area import cell_area, substrate_area
@@ -66,7 +67,7 @@ def test_cell_ppa_pdp():
 
 
 def test_runner_caches(inv_runs_2d):
-    runner = PpaRunner()
+    runner = PpaRunner(engine=default_engine())
     first = runner.evaluate("INV1X1", DeviceVariant.TWO_D)
     second = runner.evaluate("INV1X1", DeviceVariant.TWO_D)
     assert first is second
