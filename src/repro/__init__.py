@@ -37,7 +37,8 @@ scope tracing to the call (``True``, a path, or a
 from repro.cells.netlist_builder import Parasitics
 from repro.cells.variants import DeviceVariant
 from repro.deprecation import absorb_positional, absorb_renamed
-from repro.engine import Engine, RunManifest, default_engine
+from repro.engine import Engine, RunManifest, TaskFailure, default_engine
+from repro.errors import EngineRunError
 from repro.flows import FullFlowResult, run_extractions, run_full_flow
 from repro.geometry.process import DEFAULT_PROCESS, ProcessParameters
 from repro.geometry.transistor_layout import ChannelCount
@@ -51,9 +52,10 @@ from repro.observe import (
 )
 from repro.ppa.comparison import PpaComparison
 from repro.ppa.runner import DEFAULT_DT, PpaRunner
+from repro.resilience import FaultInjector, RetryPolicy
 from repro.tcad.device import Polarity, design_for_variant
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ChannelCount",
@@ -61,6 +63,8 @@ __all__ = [
     "DEFAULT_PROCESS",
     "DeviceVariant",
     "Engine",
+    "EngineRunError",
+    "FaultInjector",
     "FullFlowResult",
     "NULL_TRACER",
     "Parasitics",
@@ -68,7 +72,9 @@ __all__ = [
     "PpaComparison",
     "PpaRunner",
     "ProcessParameters",
+    "RetryPolicy",
     "RunManifest",
+    "TaskFailure",
     "Tracer",
     "configure",
     "configure_logging",

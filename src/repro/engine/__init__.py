@@ -32,7 +32,7 @@ from repro.engine.executor import (
     set_default_engine,
 )
 from repro.engine.fingerprint import canonicalize, fingerprint
-from repro.engine.manifest import RunManifest, TaskRecord
+from repro.engine.manifest import RunManifest, TaskFailure, TaskRecord
 from repro.engine.stages import (
     StageDef,
     get_stage,
@@ -48,6 +48,7 @@ __all__ = [
     "RunManifest",
     "StageDef",
     "Task",
+    "TaskFailure",
     "TaskRecord",
     "canonicalize",
     "default_engine",

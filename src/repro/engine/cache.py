@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.engine.stages import StageDef
+from repro.observe import get_tracer
 
 #: Environment variable overriding the on-disk store location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -50,6 +51,9 @@ class ArtifactCache:
         self.hits_memory = 0
         self.hits_disk = 0
         self.misses = 0
+        self.corrupt = 0
+        self.write_errors = 0
+        self._disk_writes_disabled = False
 
     # ------------------------------------------------------------------
     # lookup / store
@@ -68,23 +72,52 @@ class ArtifactCache:
                 except (OSError, ValueError):
                     record = None
                 if (record is not None
+                        and isinstance(record, dict)
                         and record.get("format") == STORE_FORMAT
                         and record.get("stage") == stage.name
-                        and record.get("version") == stage.version):
-                    artifact = stage.decode(record["artifact"])
+                        and record.get("version") == stage.version
+                        and "artifact" in record):
+                    try:
+                        artifact = stage.decode(record["artifact"])
+                    except Exception:
+                        # Well-formed envelope, mangled artifact body.
+                        self._quarantine(path, stage.name, key)
+                        self.misses += 1
+                        return None, None
                     self._memory[key] = artifact
                     self.hits_disk += 1
                     return artifact, "disk"
+                # Corrupt or stale entry: quarantine it so every future
+                # lookup is a clean miss instead of a re-parse of the
+                # same bad bytes.
+                self._quarantine(path, stage.name, key)
         self.misses += 1
         return None, None
 
+    def _quarantine(self, path: Path, stage_name: str, key: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self.corrupt += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("engine.cache.corrupt").inc()
+            tracer.event("engine.cache.quarantined", stage=stage_name,
+                         key=key)
+
     def put(self, key: str, stage: StageDef, artifact: Any) -> None:
-        """Store an artefact in memory and (when possible) on disk."""
+        """Store an artefact in memory and (when possible) on disk.
+
+        A disk write failure (full disk, permissions...) degrades the
+        cache to memory-only writes for the rest of the run — visible
+        through a tracer event plus the ``engine.cache.write_errors``
+        counter, never silent, never fatal.
+        """
         self._memory[key] = artifact
-        if self.cache_dir is None or not stage.persistent:
+        if (self.cache_dir is None or not stage.persistent
+                or self._disk_writes_disabled):
             return
-        path = self._path(stage.name, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = {
             "format": STORE_FORMAT,
             "stage": stage.name,
@@ -92,18 +125,31 @@ class ArtifactCache:
             "key": key,
             "artifact": stage.encode(artifact),
         }
-        # Atomic publish: concurrent workers may race on the same key;
-        # both write identical content, the rename keeps readers safe.
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        path = self._path(stage.name, key)
+        tmp_name = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: concurrent workers may race on the same
+            # key; both write identical content, the rename keeps
+            # readers safe.
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(record, handle, separators=(",", ":"))
             os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+        except OSError as exc:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self.write_errors += 1
+            self._disk_writes_disabled = True
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.counter("engine.cache.write_errors").inc()
+                tracer.event("engine.cache.write_error", stage=stage.name,
+                             key=key, error=type(exc).__name__,
+                             message=str(exc))
 
     def contains(self, key: str) -> bool:
         """True when the key is resident in the memory layer."""
@@ -117,11 +163,13 @@ class ArtifactCache:
         self._memory.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters since construction."""
+        """Hit/miss/corruption counters since construction."""
         return {
             "hits_memory": self.hits_memory,
             "hits_disk": self.hits_disk,
             "misses": self.misses,
+            "corrupt": self.corrupt,
+            "write_errors": self.write_errors,
         }
 
     def _path(self, stage_name: str, key: str) -> Path:

@@ -13,6 +13,19 @@ tasks feed PPA tasks as they complete rather than behind a barrier.
 Serial and parallel runs execute the same pure stage functions on the
 same inputs, so their artefacts are bit-identical; the only difference
 a manifest can show is wall time and worker ids.
+
+Failure domain (see :mod:`repro.resilience`): every task gets the
+engine's :class:`~repro.resilience.retry.RetryPolicy` — capped
+exponential backoff between attempts (``REPRO_TASK_RETRIES``) and an
+optional wall-time budget per task (``REPRO_TASK_TIMEOUT``, enforced by
+the parallel executor, which can kill and rebuild the pool).  A
+``BrokenProcessPool`` (worker SIGKILLed, OOMed...) rebuilds the pool
+and resubmits the lost in-flight tasks.  With ``on_error="continue"``
+a task that exhausts its attempts is recorded as a
+:class:`~repro.engine.manifest.TaskFailure`, its dependents are marked
+``skipped``, and every independent subgraph still runs to completion —
+because the cache is content-addressed, re-running the same graph then
+recomputes *only* the failed/skipped tasks.
 """
 
 from __future__ import annotations
@@ -20,19 +33,35 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import ArtifactCache
 from repro.engine.fingerprint import combine_fingerprints, fingerprint
-from repro.engine.manifest import RunManifest, TaskRecord
+from repro.engine.manifest import RunManifest, TaskFailure, TaskRecord
 from repro.engine.stages import get_stage
-from repro.errors import ReproError
+from repro.errors import (
+    EngineRunError,
+    InjectedFault,
+    ReproError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 from repro.observe import TIME_BUCKETS, activate, get_tracer, resolve_tracer
+from repro.resilience.faults import draw_fault, kill_current_process
+from repro.resilience.retry import RetryPolicy, resolve_retry_policy
 
 #: Environment variable overriding the auto-detected worker count.
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+#: Characters of formatted traceback kept in a TaskFailure record.
+TRACEBACK_TAIL = 1500
+
+#: Valid ``on_error`` modes.
+ON_ERROR_MODES = ("raise", "continue")
 
 
 @dataclass(frozen=True)
@@ -53,13 +82,51 @@ class Task:
 
 @dataclass
 class EngineRun:
-    """Artefacts and manifest of one completed run."""
+    """Artefacts and manifest of one completed run.
+
+    After an ``on_error="continue"`` run, :attr:`failed` and
+    :attr:`skipped` map task ids to their
+    :class:`~repro.engine.manifest.TaskFailure` records and
+    :attr:`error` aggregates them into an
+    :class:`~repro.errors.EngineRunError` (``None`` when all succeeded).
+    """
 
     artifacts: Dict[str, Any] = field(default_factory=dict)
     manifest: RunManifest = field(default_factory=lambda: RunManifest(1))
 
     def __getitem__(self, task_id: str) -> Any:
         return self.artifacts[task_id]
+
+    @property
+    def failed(self) -> Dict[str, TaskFailure]:
+        """Tasks whose compute failed after every attempt."""
+        return {f.task_id: f for f in self.manifest.failed()}
+
+    @property
+    def skipped(self) -> Dict[str, TaskFailure]:
+        """Tasks skipped because a dependency failed."""
+        return {f.task_id: f for f in self.manifest.skipped()}
+
+    @property
+    def ok(self) -> bool:
+        """True when every task produced an artefact."""
+        return not self.manifest.failures
+
+    @property
+    def error(self) -> Optional[EngineRunError]:
+        """Aggregated failure report, or ``None`` for a clean run."""
+        if self.ok:
+            return None
+        return EngineRunError(
+            f"{len(self.manifest.failed())} task(s) failed, "
+            f"{len(self.manifest.skipped())} skipped",
+            failures=self.manifest.failures)
+
+    def raise_for_failures(self) -> None:
+        """Raise :attr:`error` when the run had failures."""
+        error = self.error
+        if error is not None:
+            raise error
 
 
 def resolve_worker_count(max_workers: Optional[int] = None) -> int:
@@ -71,7 +138,8 @@ def resolve_worker_count(max_workers: Optional[int] = None) -> int:
                 max_workers = int(env)
             except ValueError:
                 raise ReproError(
-                    f"{MAX_WORKERS_ENV} must be an integer, got {env!r}")
+                    f"{MAX_WORKERS_ENV} must be an integer, "
+                    f"got {env!r}") from None
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     if max_workers < 1:
@@ -79,8 +147,19 @@ def resolve_worker_count(max_workers: Optional[int] = None) -> int:
     return max_workers
 
 
+def _traceback_tail(exc: BaseException) -> str:
+    """Last ``TRACEBACK_TAIL`` characters of the formatted traceback."""
+    try:
+        text = "".join(traceback_module.format_exception(
+            type(exc), exc, exc.__traceback__))
+    except Exception:  # pragma: no cover - formatting never critical
+        text = repr(exc)
+    return text[-TRACEBACK_TAIL:]
+
+
 def _execute_in_worker(stage_name: str, payload: Any, deps: Dict[str, Any],
                        observe: bool = False, task_id: str = "",
+                       fault: Optional[str] = None,
                        ) -> Tuple[Any, str, float, Optional[Dict]]:
     """Pool-side task execution.
 
@@ -90,10 +169,17 @@ def _execute_in_worker(stage_name: str, payload: Any, deps: Dict[str, Any],
     under the task's span — this is how spans nest across the
     ``ProcessPoolExecutor`` boundary), else ``None``.
 
+    ``fault`` is an injection directive drawn by the *parent* engine
+    (deterministically) at submit time: ``"kill"`` SIGKILLs this worker
+    before computing, ``"exc:<message>"`` raises an
+    :class:`InjectedFault` in place of the stage compute.
+
     Pipeline stages register at import time, so a spawn-started worker
     needs the defining module imported before lookup; fork-started
     workers inherit the parent's registry.
     """
+    if fault == "kill":  # pragma: no cover - kills this process
+        kill_current_process()
     try:
         import repro.engine.pipeline  # noqa: F401  (registers stages)
     except ImportError:
@@ -101,6 +187,8 @@ def _execute_in_worker(stage_name: str, payload: Any, deps: Dict[str, Any],
     stage = get_stage(stage_name)
     if not observe:
         start = time.perf_counter()
+        if fault is not None and fault.startswith("exc:"):
+            raise InjectedFault(fault[4:])
         artifact = stage.compute(payload, deps)
         return artifact, str(os.getpid()), time.perf_counter() - start, None
 
@@ -109,6 +197,8 @@ def _execute_in_worker(stage_name: str, payload: Any, deps: Dict[str, Any],
     with activate(tracer):
         start = time.perf_counter()
         with tracer.span("engine.compute", task=task_id, stage=stage_name):
+            if fault is not None and fault.startswith("exc:"):
+                raise InjectedFault(fault[4:])
             artifact = stage.compute(payload, deps)
         wall = time.perf_counter() - start
     return artifact, str(os.getpid()), wall, tracer.export_records()
@@ -133,17 +223,32 @@ class Engine:
         there after every run, a :class:`repro.observe.Tracer` records
         into that instance.  Tracing never changes artefacts — only
         what is recorded about producing them.
+    retry_policy:
+        Per-task :class:`~repro.resilience.retry.RetryPolicy`; ``None``
+        resolves from ``REPRO_TASK_RETRIES`` / ``REPRO_TASK_TIMEOUT``.
+    on_error:
+        Default failure mode of :meth:`run`: ``"raise"`` re-raises the
+        first task error after its retries are exhausted (pre-1.3
+        behaviour), ``"continue"`` records failures in the manifest,
+        skips dependents and completes every independent subgraph.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
                  cache: Optional[ArtifactCache] = None,
                  cache_dir: Optional[os.PathLike] = None,
                  use_disk: bool = True,
-                 observe: Any = None):
+                 observe: Any = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 on_error: str = "raise"):
+        if on_error not in ON_ERROR_MODES:
+            raise ReproError(f"on_error must be one of {ON_ERROR_MODES}, "
+                             f"got {on_error!r}")
         self.max_workers = resolve_worker_count(max_workers)
         self.cache = cache or ArtifactCache(cache_dir=cache_dir,
                                             use_disk=use_disk)
         self.observe = observe
+        self.retry_policy = resolve_retry_policy(retry_policy)
+        self.on_error = on_error
         self.last_manifest: Optional[RunManifest] = None
 
     def _tracer(self):
@@ -194,17 +299,31 @@ class Engine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, tasks: Sequence[Task]) -> EngineRun:
-        """Materialise every task's artefact, cheapest way available."""
+    def run(self, tasks: Sequence[Task],
+            on_error: Optional[str] = None) -> EngineRun:
+        """Materialise every task's artefact, cheapest way available.
+
+        ``on_error`` overrides the engine default for this run (see the
+        constructor).  With ``"continue"``, inspect the returned run's
+        :attr:`EngineRun.failed` / :attr:`EngineRun.skipped` /
+        :attr:`EngineRun.error` for what (if anything) degraded.
+        """
+        if on_error is None:
+            on_error = self.on_error
+        if on_error not in ON_ERROR_MODES:
+            raise ReproError(f"on_error must be one of {ON_ERROR_MODES}, "
+                             f"got {on_error!r}")
         tracer = self._tracer()
         with activate(tracer):
             with tracer.span("engine.run", tasks=len(tasks),
                              max_workers=self.max_workers) as span:
-                result = self._run_traced(tasks)
+                result = self._run_traced(tasks, on_error)
                 if tracer.enabled:
                     summary = result.manifest.summary()
                     span.set(cache_hits=summary["cache_hits"],
-                             computed=summary["computed"])
+                             computed=summary["computed"],
+                             failed=summary["failed"],
+                             skipped=summary["skipped"])
                     tracer.counter("engine.tasks").inc(summary["tasks"])
                     tracer.counter("engine.cache_hits").inc(
                         summary["cache_hits"])
@@ -216,27 +335,32 @@ class Engine:
             tracer.export_all()
         return result
 
-    def _run_traced(self, tasks: Sequence[Task]) -> EngineRun:
+    def _run_traced(self, tasks: Sequence[Task],
+                    on_error: str) -> EngineRun:
         run_start = time.perf_counter()
         order = self._topological_order(tasks)
         keys = self.task_keys(order)
         result = EngineRun(manifest=RunManifest(max_workers=self.max_workers))
-
-        pending: List[Task] = []
-        for task in order:
-            if not self._try_cache(task, keys[task.id], result):
-                pending.append(task)
-
-        if pending:
-            if self.max_workers == 1 or len(pending) == 1:
-                self._run_serial(pending, keys, result)
-            else:
-                self._run_parallel(pending, keys, result)
-
-        result.manifest.total_wall_time = time.perf_counter() - run_start
         self.last_manifest = result.manifest
+
+        try:
+            pending: List[Task] = []
+            for task in order:
+                if not self._try_cache(task, keys[task.id], result):
+                    pending.append(task)
+
+            if pending:
+                if self.max_workers == 1 or len(pending) == 1:
+                    self._run_serial(pending, keys, result, on_error)
+                else:
+                    self._run_parallel(pending, keys, result, on_error)
+        finally:
+            result.manifest.total_wall_time = time.perf_counter() - run_start
         return result
 
+    # ------------------------------------------------------------------
+    # bookkeeping shared by the serial and parallel paths
+    # ------------------------------------------------------------------
     @staticmethod
     def _observe_record(record: TaskRecord, **extra: Any) -> None:
         """Fold a manifest record into the trace's event stream."""
@@ -251,14 +375,52 @@ class Engine:
 
     def _record_computed(self, task: Task, key: str, artifact: Any,
                          worker: str, wall: float, result: EngineRun,
-                         **extra: Any) -> None:
+                         attempts: int = 1, **extra: Any) -> None:
         self.cache.put(key, get_stage(task.stage), artifact)
         result.artifacts[task.id] = artifact
         record = TaskRecord(
             task_id=task.id, stage=task.stage, key=key, cache="miss",
-            wall_time=wall, worker=worker)
+            wall_time=wall, worker=worker, attempts=attempts)
         result.manifest.add(record)
         self._observe_record(record, **extra)
+
+    def _record_failure(self, task: Task, key: str, exc: BaseException,
+                        attempts: int, result: EngineRun) -> TaskFailure:
+        failure = TaskFailure(
+            task_id=task.id, stage=task.stage, key=key, status="failed",
+            error_type=type(exc).__name__, message=str(exc),
+            attempts=attempts, traceback=_traceback_tail(exc))
+        result.manifest.add_failure(failure)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("engine.task.failed").inc()
+            tracer.event("engine.task.failed", task=task.id,
+                         stage=task.stage, error=type(exc).__name__,
+                         message=str(exc), attempts=attempts)
+        return failure
+
+    def _record_skip(self, task: Task, key: str, upstream: str,
+                     result: EngineRun) -> TaskFailure:
+        failure = TaskFailure(
+            task_id=task.id, stage=task.stage, key=key, status="skipped",
+            upstream=upstream)
+        result.manifest.add_failure(failure)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("engine.task.skipped").inc()
+            tracer.event("engine.task.skipped", task=task.id,
+                         stage=task.stage, upstream=upstream)
+        return failure
+
+    @staticmethod
+    def _note_retry(task: Task, attempt: int, exc: BaseException,
+                    delay: float) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("engine.task.retry").inc()
+            tracer.event("engine.task.retry", task=task.id,
+                         stage=task.stage, attempt=attempt,
+                         error=type(exc).__name__, delay_s=delay)
 
     def _dep_artifacts(self, task: Task, result: EngineRun) -> Dict[str, Any]:
         return {dep: result.artifacts[dep] for dep in task.deps}
@@ -278,91 +440,357 @@ class Engine:
         self._observe_record(record)
         return True
 
+    # ------------------------------------------------------------------
+    # serial execution
+    # ------------------------------------------------------------------
     def _run_serial(self, pending: Sequence[Task], keys: Dict[str, str],
-                    result: EngineRun) -> None:
+                    result: EngineRun, on_error: str) -> None:
         tracer = get_tracer()
+        policy = self.retry_policy
+        unresolved: Dict[str, TaskFailure] = {}
         for task in pending:
             # an earlier same-key task may have materialised it already
             if self._try_cache(task, keys[task.id], result):
                 continue
+            bad_dep = next((d for d in task.deps if d in unresolved), None)
+            if bad_dep is not None:
+                unresolved[task.id] = self._record_skip(
+                    task, keys[task.id], bad_dep, result)
+                continue
             stage = get_stage(task.stage)
-            start = time.perf_counter()
-            with tracer.span("engine.compute", task=task.id,
-                             stage=task.stage):
-                artifact = stage.compute(task.payload,
-                                         self._dep_artifacts(task, result))
-            self._record_computed(task, keys[task.id], artifact, "main",
-                                  time.perf_counter() - start, result)
+            deps = self._dep_artifacts(task, result)
+            attempt = 0
+            while True:
+                attempt += 1
+                start = time.perf_counter()
+                try:
+                    rule = draw_fault("stage_exc", task.stage)
+                    with tracer.span("engine.compute", task=task.id,
+                                     stage=task.stage):
+                        if rule is not None:
+                            raise InjectedFault(
+                                rule.message
+                                or f"injected stage_exc at {task.stage}")
+                        artifact = stage.compute(task.payload, deps)
+                except Exception as exc:
+                    if attempt < policy.attempts:
+                        delay = policy.delay(attempt)
+                        self._note_retry(task, attempt, exc, delay)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    unresolved[task.id] = self._record_failure(
+                        task, keys[task.id], exc, attempt, result)
+                    if on_error == "raise":
+                        raise
+                    break
+                self._record_computed(task, keys[task.id], artifact, "main",
+                                      time.perf_counter() - start, result,
+                                      attempts=attempt)
+                break
 
+    # ------------------------------------------------------------------
+    # parallel execution
+    # ------------------------------------------------------------------
     def _run_parallel(self, pending: Sequence[Task], keys: Dict[str, str],
-                      result: EngineRun) -> None:
+                      result: EngineRun, on_error: str) -> None:
         tracer = get_tracer()
         observing = tracer.enabled
-        waiting = {task.id: task for task in pending}
-        futures = {}
-        submit_times: Dict[str, float] = {}
-        inflight_keys = set()
+        policy = self.retry_policy
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             context = multiprocessing.get_context()
         workers = min(self.max_workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
-            def submit_ready() -> None:
-                # loop to quiescence: a cache-served task can unblock its
-                # dependents within the same scheduling round
-                progress = True
-                while progress:
-                    progress = False
-                    for task_id in list(waiting):
-                        task = waiting[task_id]
-                        if not all(dep in result.artifacts
-                                   for dep in task.deps):
-                            continue
-                        key = keys[task_id]
-                        if self._try_cache(task, key, result):
-                            del waiting[task_id]
-                            progress = True
-                            continue
-                        if key in inflight_keys:
-                            # same-key task already computing: wait, then
-                            # serve this one from cache
-                            continue
-                        del waiting[task_id]
-                        inflight_keys.add(key)
-                        if observing:
-                            submit_times[task_id] = time.perf_counter()
-                            tracer.event("engine.task.submit", task=task_id,
-                                         stage=task.stage)
-                        futures[pool.submit(
-                            _execute_in_worker, task.stage, task.payload,
-                            self._dep_artifacts(task, result),
-                            observing, task_id)] = task
 
-            submit_ready()
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = futures.pop(future)
-                    artifact, worker, wall, observed = future.result()
-                    inflight_keys.discard(keys[task.id])
-                    extra = {}
+        waiting = {task.id: task for task in pending}
+        futures: Dict[Any, Task] = {}
+        deadlines: Dict[Any, float] = {}
+        deferred: List[Tuple[float, Task]] = []   # backoff timers
+        attempts: Dict[str, int] = {}
+        crashes: Dict[str, int] = {}
+        submit_times: Dict[str, float] = {}
+        inflight_keys = set()
+        unresolved: Dict[str, TaskFailure] = {}
+        lost_submits: List[Task] = []
+        pool_broken = False
+
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+        def fail_task(task: Task, exc: BaseException,
+                      n_attempts: int) -> BaseException:
+            """Record a final failure; fail same-key duplicates too.
+
+            A task parked behind an in-flight duplicate key must fail
+            when that computation fails — identical content implies an
+            identical outcome, and leaving it parked would deadlock
+            the run (the key never materialises).
+            """
+            key = keys[task.id]
+            unresolved[task.id] = self._record_failure(
+                task, key, exc, n_attempts, result)
+            inflight_keys.discard(key)
+            for dup_id in [t for t in waiting if keys[t] == key]:
+                dup = waiting.pop(dup_id)
+                unresolved[dup_id] = self._record_failure(
+                    dup, key, exc, 0, result)
+            return exc
+
+        def submit(task: Task, attempt: int) -> None:
+            nonlocal pool_broken
+            fault = None
+            rule = draw_fault("worker_kill", task.stage)
+            if rule is not None:
+                fault = "kill"
+            else:
+                rule = draw_fault("stage_exc", task.stage)
+                if rule is not None:
+                    fault = "exc:" + (rule.message or
+                                      f"injected stage_exc at {task.stage}")
+            if observing:
+                submit_times[task.id] = time.perf_counter()
+                tracer.event("engine.task.submit", task=task.id,
+                             stage=task.stage, attempt=attempt)
+            try:
+                future = pool.submit(
+                    _execute_in_worker, task.stage, task.payload,
+                    self._dep_artifacts(task, result), observing, task.id,
+                    fault)
+            except (BrokenProcessPool, RuntimeError):
+                # Pool already broken (or shutting down): queue the task
+                # for the rebuild pass instead of losing it.
+                pool_broken = True
+                lost_submits.append(task)
+                return
+            futures[future] = task
+            if policy.timeout is not None:
+                deadlines[future] = time.monotonic() + policy.timeout
+
+        def submit_ready() -> None:
+            # loop to quiescence: a cache-served task can unblock its
+            # dependents within the same scheduling round
+            progress = True
+            while progress:
+                progress = False
+                now = time.monotonic()
+                for entry in list(deferred):
+                    ready_at, task = entry
+                    if now >= ready_at:
+                        deferred.remove(entry)
+                        attempts[task.id] += 1
+                        submit(task, attempts[task.id])
+                        progress = True
+                for task_id in list(waiting):
+                    task = waiting[task_id]
+                    key = keys[task_id]
+                    if self._try_cache(task, key, result):
+                        del waiting[task_id]
+                        progress = True
+                        continue
+                    bad_dep = next((d for d in task.deps
+                                    if d in unresolved), None)
+                    if bad_dep is not None:
+                        del waiting[task_id]
+                        unresolved[task_id] = self._record_skip(
+                            task, key, bad_dep, result)
+                        progress = True
+                        continue
+                    if not all(dep in result.artifacts
+                               for dep in task.deps):
+                        continue
+                    if key in inflight_keys:
+                        # same-key task already computing: it resolves
+                        # here (from cache) on success, or through
+                        # fail_task on failure — never parked forever
+                        continue
+                    del waiting[task_id]
+                    inflight_keys.add(key)
+                    attempts[task_id] = 1
+                    submit(task, 1)
+                    progress = True
+
+        def rebuild_pool(lost: List[Tuple[Task, bool]],
+                         reason: str) -> None:
+            """Replace the dead pool; retry/fail the lost tasks.
+
+            ``lost`` holds ``(task, overdue)`` pairs; overdue tasks
+            (timeout kills) burn a retry attempt, collateral ones are
+            resubmitted for free (their crash budget still bounds the
+            worst case of a task that keeps killing its worker).
+            """
+            nonlocal pool
+            result.manifest.pool_rebuilds += 1
+            if observing:
+                tracer.counter("engine.pool.rebuilt").inc()
+                tracer.event("engine.pool.rebuilt", reason=reason,
+                             lost=len(lost))
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=context)
+            for task, overdue in lost:
+                n = attempts.get(task.id, 1)
+                if overdue:
+                    exc: BaseException = TaskTimeoutError(
+                        f"task {task.id} exceeded its "
+                        f"{policy.timeout:g}s budget")
+                    if n < policy.attempts:
+                        delay = policy.delay(n)
+                        self._note_retry(task, n, exc, delay)
+                        deferred.append((time.monotonic() + delay, task))
+                    else:
+                        raise_or_continue(fail_task(task, exc, n))
+                    continue
+                crashes[task.id] = crashes.get(task.id, 0) + 1
+                if crashes[task.id] > policy.retries + 1:
+                    exc = WorkerCrashError(
+                        f"worker died {crashes[task.id]} times while "
+                        f"computing {task.id}")
+                    raise_or_continue(fail_task(task, exc, n))
+                else:
                     if observing:
-                        # Queue latency: time the finished task spent
-                        # waiting for a pool slot plus serialisation,
-                        # i.e. everything between submit and compute.
-                        elapsed = (time.perf_counter()
-                                   - submit_times.pop(task.id))
-                        queue_s = max(elapsed - wall, 0.0)
-                        extra["queue_s"] = queue_s
-                        tracer.histogram("engine.queue_latency_s",
-                                         TIME_BUCKETS).observe(queue_s)
-                        if observed is not None:
-                            tracer.merge_records(observed)
-                    self._record_computed(task, keys[task.id], artifact,
-                                          worker, wall, result, **extra)
+                        tracer.event("engine.task.resubmit", task=task.id,
+                                     stage=task.stage, reason=reason)
+                    submit(task, n)
+
+        raised: List[BaseException] = []
+
+        def raise_or_continue(exc: BaseException) -> None:
+            if on_error == "raise":
+                raised.append(exc)
+
+        def kill_pool_processes() -> None:
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.kill()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+
+        def record_success(task: Task, payload: Tuple) -> None:
+            artifact, worker, wall, observed = payload
+            inflight_keys.discard(keys[task.id])
+            extra = {}
+            if observing:
+                # Queue latency: time the finished task spent waiting
+                # for a pool slot plus serialisation, i.e. everything
+                # between submit and compute.
+                elapsed = time.perf_counter() - submit_times.pop(task.id)
+                queue_s = max(elapsed - wall, 0.0)
+                extra["queue_s"] = queue_s
+                tracer.histogram("engine.queue_latency_s",
+                                 TIME_BUCKETS).observe(queue_s)
+                if observed is not None:
+                    tracer.merge_records(observed)
+            self._record_computed(task, keys[task.id], artifact, worker,
+                                  wall, result,
+                                  attempts=attempts.get(task.id, 1),
+                                  **extra)
+
+        try:
+            submit_ready()
+            while (futures or deferred or lost_submits) and not raised:
+                if pool_broken:
+                    pool_broken = False
+                    lost = [(task, False) for task in lost_submits]
+                    lost_submits.clear()
+                    for future, task in list(futures.items()):
+                        # Futures that completed before the pool died
+                        # still hold valid results — harvest instead of
+                        # recomputing.
+                        payload = None
+                        if future.done():
+                            try:
+                                payload = future.result()
+                            except Exception:
+                                payload = None
+                        if payload is not None:
+                            record_success(task, payload)
+                        else:
+                            if observing:
+                                submit_times.pop(task.id, None)
+                            lost.append((task, False))
+                    futures.clear()
+                    deadlines.clear()
+                    rebuild_pool(lost, reason="broken_pool")
+                    submit_ready()
+                    continue
+                if not futures:
+                    if not deferred:
+                        break
+                    now = time.monotonic()
+                    earliest = min(ready for ready, _ in deferred)
+                    if earliest > now:
+                        time.sleep(earliest - now)
+                    submit_ready()
+                    continue
+                timeout = None
+                now = time.monotonic()
+                if deadlines:
+                    timeout = max(0.0, min(deadlines.values()) - now)
+                if deferred:
+                    wake = max(0.0, min(r for r, _ in deferred) - now)
+                    timeout = wake if timeout is None else min(timeout, wake)
+                done, _ = wait(futures, timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                for future in sorted(done, key=lambda f: futures[f].id):
+                    task = futures.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        # The whole pool is dead; this task (and every
+                        # other in-flight one) is lost — rebuild once.
+                        pool_broken = True
+                        lost_submits.append(task)
+                        if observing:
+                            submit_times.pop(task.id, None)
+                        continue
+                    except Exception as exc:
+                        n = attempts.get(task.id, 1)
+                        if observing:
+                            submit_times.pop(task.id, None)
+                        if n < policy.attempts:
+                            delay = policy.delay(n)
+                            self._note_retry(task, n, exc, delay)
+                            deferred.append(
+                                (time.monotonic() + delay, task))
+                        else:
+                            raise_or_continue(fail_task(task, exc, n))
+                        continue
+                    record_success(task, payload)
+                if pool_broken or raised:
+                    continue
+                if deadlines:
+                    now = time.monotonic()
+                    overdue = {futures[f].id for f, deadline
+                               in deadlines.items()
+                               if deadline <= now and not f.done()}
+                    if overdue:
+                        if observing:
+                            for task_id in sorted(overdue):
+                                tracer.counter("engine.task.timeout").inc()
+                                tracer.event("engine.task.timeout",
+                                             task=task_id)
+                        # A stuck worker cannot be preempted politely:
+                        # kill the pool, rebuild, resubmit the
+                        # collateral in-flight tasks.
+                        kill_pool_processes()
+                        lost = [(task, task.id in overdue)
+                                for task in futures.values()]
+                        futures.clear()
+                        deadlines.clear()
+                        rebuild_pool(lost, reason="timeout")
                 submit_ready()
+            if raised:
+                raise raised[0]
+            if waiting:
+                # Structural safety net: any task still parked here is a
+                # scheduler bug — fail loudly rather than deadlock.
+                raise ReproError(
+                    f"executor stalled with {len(waiting)} unresolved "
+                    f"task(s): {sorted(waiting)}")
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 # ----------------------------------------------------------------------

@@ -24,6 +24,7 @@ class TaskRecord:
     ``cache`` is ``"memory"``, ``"disk"`` or ``"miss"`` (computed);
     ``worker`` is ``"cache"`` for hits, ``"main"`` for in-process serial
     execution, or the pool worker's pid rendered as a string.
+    ``attempts`` counts compute attempts (> 1 after retries).
     """
 
     task_id: str
@@ -32,10 +33,33 @@ class TaskRecord:
     cache: str
     wall_time: float
     worker: str
+    attempts: int = 1
 
     @property
     def cache_hit(self) -> bool:
         return self.cache != "miss"
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that produced no artefact in one run.
+
+    ``status`` is ``"failed"`` (its compute raised after all retry
+    attempts, or it timed out / lost its worker too often) or
+    ``"skipped"`` (a dependency failed; ``upstream`` names it).
+    ``traceback`` holds the tail of the formatted traceback — enough
+    to triage without keeping whole stack dumps in every manifest.
+    """
+
+    task_id: str
+    stage: str
+    key: str
+    status: str
+    error_type: str = ""
+    message: str = ""
+    attempts: int = 0
+    traceback: str = ""
+    upstream: str = ""
 
 
 @dataclass
@@ -44,10 +68,15 @@ class RunManifest:
 
     max_workers: int
     records: List[TaskRecord] = field(default_factory=list)
+    failures: List[TaskFailure] = field(default_factory=list)
     total_wall_time: float = 0.0
+    pool_rebuilds: int = 0
 
     def add(self, record: TaskRecord) -> None:
         self.records.append(record)
+
+    def add_failure(self, failure: TaskFailure) -> None:
+        self.failures.append(failure)
 
     # ------------------------------------------------------------------
     # queries
@@ -75,6 +104,19 @@ class RunManifest:
         """Distinct workers that computed at least one task."""
         return sorted({r.worker for r in self.records if r.cache == "miss"})
 
+    def failed(self) -> List[TaskFailure]:
+        """Tasks whose compute failed after all attempts."""
+        return [f for f in self.failures if f.status == "failed"]
+
+    def skipped(self) -> List[TaskFailure]:
+        """Tasks skipped because a dependency failed."""
+        return [f for f in self.failures if f.status == "skipped"]
+
+    def retries(self) -> int:
+        """Extra compute attempts spent across the whole run."""
+        return (sum(r.attempts - 1 for r in self.records)
+                + sum(max(f.attempts - 1, 0) for f in self.failures))
+
     def summary(self) -> Dict:
         """Aggregate view: totals plus per-stage hit/compute breakdown."""
         per_stage = {}
@@ -87,9 +129,13 @@ class RunManifest:
                 "wall_time": sum(r.wall_time for r in records),
             }
         return {
-            "tasks": len(self.records),
+            "tasks": len(self.records) + len(self.failures),
             "cache_hits": sum(1 for r in self.records if r.cache_hit),
             "computed": sum(1 for r in self.records if not r.cache_hit),
+            "failed": len(self.failed()),
+            "skipped": len(self.skipped()),
+            "retries": self.retries(),
+            "pool_rebuilds": self.pool_rebuilds,
             "max_workers": self.max_workers,
             "workers_used": self.workers_used(),
             "total_wall_time": self.total_wall_time,
@@ -104,16 +150,21 @@ class RunManifest:
         return {
             "max_workers": self.max_workers,
             "total_wall_time": self.total_wall_time,
+            "pool_rebuilds": self.pool_rebuilds,
             "records": [asdict(r) for r in self.records],
+            "failures": [asdict(f) for f in self.failures],
         }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunManifest":
         """Inverse of :meth:`to_dict`."""
         manifest = cls(max_workers=data["max_workers"],
-                       total_wall_time=data.get("total_wall_time", 0.0))
+                       total_wall_time=data.get("total_wall_time", 0.0),
+                       pool_rebuilds=data.get("pool_rebuilds", 0))
         for record in data.get("records", []):
             manifest.add(TaskRecord(**record))
+        for failure in data.get("failures", []):
+            manifest.add_failure(TaskFailure(**failure))
         return manifest
 
     def save(self, path: os.PathLike) -> None:
@@ -124,15 +175,28 @@ class RunManifest:
     def render(self) -> str:
         """Human-readable per-stage summary table."""
         summary = self.summary()
-        lines = [
+        headline = (
             f"engine run: {summary['tasks']} tasks, "
             f"{summary['cache_hits']} cached / {summary['computed']} "
             f"computed, {summary['total_wall_time']:.2f}s wall, "
-            f"max_workers={summary['max_workers']}",
-        ]
+            f"max_workers={summary['max_workers']}")
+        if summary["failed"] or summary["skipped"]:
+            headline += (f", {summary['failed']} failed / "
+                         f"{summary['skipped']} skipped")
+        if summary["retries"]:
+            headline += f", {summary['retries']} retries"
+        if summary["pool_rebuilds"]:
+            headline += f", {summary['pool_rebuilds']} pool rebuilds"
+        lines = [headline]
         for stage, row in summary["stages"].items():
             lines.append(
                 f"  {stage:<16} {row['tasks']:>3} tasks  "
                 f"{row['hits']:>3} hit {row['computed']:>3} computed  "
                 f"{row['wall_time']:.2f}s")
+        for failure in self.failures:
+            detail = (f"{failure.error_type}: {failure.message}"
+                      if failure.status == "failed"
+                      else f"dependency {failure.upstream} failed")
+            lines.append(f"  {failure.status:<7} {failure.task_id} "
+                         f"[{failure.stage}] {detail}")
         return "\n".join(lines)

@@ -30,6 +30,45 @@ class ConvergenceError(ReproError):
                 f"residual={self.residual:.3e})")
 
 
+class TaskTimeoutError(ReproError):
+    """A task exceeded its wall-time budget (``REPRO_TASK_TIMEOUT``)."""
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (SIGKILL, OOM...) while computing a task."""
+
+
+class InjectedFault(ReproError):
+    """A failure raised on purpose by :mod:`repro.resilience.faults`.
+
+    Distinguishable from organic failures so tests (and trace readers)
+    can tell an exercised recovery path from a real regression.
+    """
+
+
+class EngineRunError(ReproError):
+    """Aggregated failure report of an ``on_error="continue"`` run.
+
+    Carries the run's :class:`~repro.engine.manifest.TaskFailure`
+    entries so callers can triage without re-parsing the message.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.failures:
+            return base
+        lines = [base]
+        for failure in self.failures:
+            lines.append(f"  {failure.status:<7} {failure.task_id} "
+                         f"[{failure.stage}] {failure.error_type}: "
+                         f"{failure.message}")
+        return "\n".join(lines)
+
+
 class MeshError(ReproError):
     """Invalid mesh specification (non-monotonic points, empty region...)."""
 

@@ -1,0 +1,59 @@
+"""Fault tolerance: retry policies, rescue ladders, fault injection.
+
+The failure-domain layer of the pipeline.  Three pieces:
+
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`, the engine's
+  per-task retry/backoff/timeout knobs (``REPRO_TASK_RETRIES``,
+  ``REPRO_TASK_TIMEOUT``);
+* :mod:`repro.resilience.rescue` — :func:`continue_solve`, the adaptive
+  parameter-continuation primitive the solver rescue ladders share;
+* :mod:`repro.resilience.faults` — :class:`FaultInjector`, the
+  deterministic seeded injector (``REPRO_FAULTS``) that drives every
+  recovery path under test: stage exceptions, SIGKILLed pool workers,
+  forced solver non-convergence.
+
+See the "Fault tolerance" sections of README.md / DESIGN.md for the
+end-to-end semantics (retry → continue → resume).
+"""
+
+from repro.resilience.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    FaultRule,
+    active_injector,
+    clear_faults,
+    draw_fault,
+    install,
+    kill_current_process,
+    maybe_inject,
+)
+from repro.resilience.rescue import (
+    MAX_SPLITS,
+    ContinuationResult,
+    continue_solve,
+)
+from repro.resilience.retry import (
+    TASK_RETRIES_ENV,
+    TASK_TIMEOUT_ENV,
+    RetryPolicy,
+    resolve_retry_policy,
+)
+
+__all__ = [
+    "ContinuationResult",
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultRule",
+    "MAX_SPLITS",
+    "RetryPolicy",
+    "TASK_RETRIES_ENV",
+    "TASK_TIMEOUT_ENV",
+    "active_injector",
+    "clear_faults",
+    "continue_solve",
+    "draw_fault",
+    "install",
+    "kill_current_process",
+    "maybe_inject",
+    "resolve_retry_policy",
+]

@@ -1,0 +1,93 @@
+"""Retry policies for engine tasks: capped exponential backoff.
+
+A :class:`RetryPolicy` bundles the three knobs of task-level fault
+tolerance: how many extra attempts a failing task gets (``retries``,
+env ``REPRO_TASK_RETRIES``), how long to wait between attempts
+(``backoff`` doubling per attempt, capped at ``backoff_cap``), and an
+optional per-task wall-time budget (``timeout``, env
+``REPRO_TASK_TIMEOUT``) enforced by the parallel engine (a serial
+in-process run cannot preempt a compute function).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+#: Extra attempts a failed task gets (default 0 — fail on first error).
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+
+#: Per-task wall-time budget in seconds (default: none).
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine retries failing tasks.
+
+    Attributes
+    ----------
+    retries:
+        Extra attempts after the first failure (0 = no retry).
+    backoff:
+        Delay before the first retry [s]; doubles per further attempt.
+    backoff_cap:
+        Upper bound on any single backoff delay [s].
+    timeout:
+        Per-task wall-time budget [s]; ``None`` disables.  Enforced by
+        the parallel executor (which can kill and rebuild the pool);
+        serial runs cannot preempt a running compute function.
+    """
+
+    retries: int = 0
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ReproError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0 or self.backoff_cap < 0:
+            raise ReproError("backoff delays must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ReproError(f"timeout must be positive, got {self.timeout}")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts a task gets (first try + retries)."""
+        return self.retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if self.backoff <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff * (2.0 ** (attempt - 1)))
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Policy resolved from ``REPRO_TASK_RETRIES`` / ``_TIMEOUT``."""
+        retries = 0
+        env = os.environ.get(TASK_RETRIES_ENV)
+        if env:
+            try:
+                retries = int(env)
+            except ValueError:
+                raise ReproError(f"{TASK_RETRIES_ENV} must be an integer, "
+                                 f"got {env!r}") from None
+        timeout: Optional[float] = None
+        env = os.environ.get(TASK_TIMEOUT_ENV)
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError:
+                raise ReproError(f"{TASK_TIMEOUT_ENV} must be a number, "
+                                 f"got {env!r}") from None
+        return cls(retries=retries, timeout=timeout)
+
+
+def resolve_retry_policy(policy: Optional[RetryPolicy]) -> RetryPolicy:
+    """Explicit policy, else the env-resolved default."""
+    return policy if policy is not None else RetryPolicy.from_env()

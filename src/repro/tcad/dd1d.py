@@ -20,7 +20,7 @@ standard.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 from scipy.linalg import solve_banded
@@ -29,6 +29,8 @@ from repro.constants import Q, thermal_voltage
 from repro.errors import ConvergenceError, MeshError
 from repro.materials import SILICON
 from repro.observe import get_tracer
+from repro.resilience.faults import draw_fault
+from repro.resilience.rescue import continue_solve
 
 
 def bernoulli(x: np.ndarray) -> np.ndarray:
@@ -186,7 +188,65 @@ class DriftDiffusion1D:
     # ------------------------------------------------------------------
     def solve(self, bias: float,
               initial: Optional[DDSolution] = None) -> DDSolution:
-        """Solve at contact bias ``bias`` (applied to the x=L contact)."""
+        """Solve at contact bias ``bias`` (applied to the x=L contact).
+
+        Tries the direct Gummel solve first — the fault-free path is
+        arithmetically unchanged.  When that fails to converge (or the
+        fault injector forces it to, site ``"dd1d"``), the solve is
+        rescued by bias continuation: ramp the contact bias from
+        equilibrium (0 V, where Gummel always converges) towards the
+        target with :func:`repro.resilience.rescue.continue_solve`,
+        warm-starting each point from the last — the same adaptive
+        continuation primitive the SPICE Newton rescue ladder uses.
+        """
+        rule = draw_fault("convergence", "dd1d")
+        if rule is not None and rule.fatal:
+            raise ConvergenceError(
+                rule.message or f"injected non-convergence at bias "
+                                f"{bias:g}V (dd1d)",
+                iterations=0, residual=float("inf"))
+        if rule is None:
+            try:
+                return self._solve_direct(bias, initial)
+            except ConvergenceError:
+                pass
+        return self._solve_continuation(bias, initial)
+
+    def _solve_continuation(self, bias: float,
+                            initial: Optional[DDSolution]) -> DDSolution:
+        """Bias-continuation rescue: walk 0 V -> ``bias`` adaptively."""
+
+        def solve_at(b: float,
+                     warm: Optional[DDSolution]) -> DDSolution:
+            return self._solve_direct(b, warm if warm is not None
+                                      else initial)
+
+        outcome = continue_solve(solve_at, target=bias, start=0.0)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("tcad.dd1d.rescues").inc()
+            tracer.counter("tcad.dd1d.continuation_steps").inc(
+                outcome.steps)
+            tracer.event("tcad.dd1d.rescue", bias=bias,
+                         steps=outcome.steps, splits=outcome.splits)
+        return outcome.solution
+
+    def sweep(self, biases: Sequence[float]) -> List[DDSolution]:
+        """Solve a bias sweep, warm-starting each point from the last.
+
+        Corner biases that defeat a cold-started Gummel loop fall back
+        to the same continuation rescue as :meth:`solve`.
+        """
+        solutions: List[DDSolution] = []
+        previous: Optional[DDSolution] = None
+        for bias in biases:
+            previous = self.solve(float(bias), initial=previous)
+            solutions.append(previous)
+        return solutions
+
+    def _solve_direct(self, bias: float,
+                      initial: Optional[DDSolution]) -> DDSolution:
+        """One cold/warm-started Gummel solve (no rescue)."""
         psi_left = self._contact_potential(self.nd[0])
         psi_right = self._contact_potential(self.nd[-1]) + bias
         n_left, n_right = self.nd[0], self.nd[-1]
