@@ -1,0 +1,56 @@
+"""Wall-time budget of the fast verification suite.
+
+Writes ``BENCH_verify.json`` — the number future PRs compare against so
+the CI `verify` gate can't silently balloon.  Cold and warm engine
+caches are timed separately: the cold time bounds a fresh-checkout CI
+run, the warm time is the inner-loop cost a developer pays per edit.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.verify.goldens import GoldenStore
+from repro.verify.suites import run_suite
+
+
+@pytest.mark.engine
+@pytest.mark.slow
+def test_fast_suite_wall_time(tmp_path):
+    from repro.engine import reset_default_engine
+    from repro.engine.cache import CACHE_DIR_ENV
+
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path / "verify-bench-cache")
+    reset_default_engine()
+    try:
+        timings = {}
+        reports = {}
+        for label in ("cold", "warm"):
+            start = time.perf_counter()
+            reports[label] = run_suite("fast", store=GoldenStore())
+            timings[label] = time.perf_counter() - start
+    finally:
+        if previous is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = previous
+        reset_default_engine()
+
+    for label, report in reports.items():
+        assert report.passed, f"{label} fast suite failed: " + ", ".join(
+            c.name for c in report.checks if c.status == "fail")
+
+    record = {
+        "suite": "fast",
+        "checks": len(reports["cold"].checks),
+        "cold_run_s": timings["cold"],
+        "warm_run_s": timings["warm"],
+        "counts": reports["cold"].counts,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_verify.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))

@@ -85,8 +85,20 @@ def build_time_grid(t_stop: float, dt: float,
     points.add(t_stop)
     points.add(0.0)
     grid = np.array(sorted(p for p in points if 0.0 <= p <= t_stop))
-    # Drop near-duplicate points that would produce tiny steps.
-    keep = np.concatenate([[True], np.diff(grid) > fine * 1e-3])
+    # Drop near-duplicate points that would produce tiny steps.  Drop
+    # the *earlier* point of each too-close pair so named times —
+    # breakpoints and above all t_stop — always survive; dropping the
+    # latter could silently end the grid just short of t_stop when a
+    # refined window point lands within fine/1000 of it.
+    keep = np.ones(grid.size, dtype=bool)
+    small = np.diff(grid) <= fine * 1e-3
+    keep[:-1][small] = False
+    # t = 0 anchors the DC operating point: keep it and sacrifice a
+    # near-duplicate successor instead.
+    if grid.size > 1:
+        keep[0] = True
+        if small[0]:
+            keep[1] = False
     return grid[keep]
 
 

@@ -1,0 +1,7 @@
+"""``python -m repro.verify`` dispatch."""
+
+import sys
+
+from repro.verify.cli import main
+
+sys.exit(main())

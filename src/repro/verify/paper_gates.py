@@ -1,0 +1,210 @@
+"""Machine-readable paper expectations ("paper gates").
+
+Each :class:`PaperGate` binds one quantitative claim of the SOCC 2023
+paper — a Table III error ceiling, a Figure 5 PPA-delta window, the
+Section IV-3 substrate-area bound — to an extractor over real
+``run_full_flow`` artifacts and an acceptance window.
+
+The windows are *reproduction* windows: centred on the paper's number,
+widened by the documented deviation of our from-scratch substrate (see
+``EXPERIMENTS.md`` "Known deviations").  They are deliberately tight
+enough that a silent physics regression — a percent-level drift in
+mobility, threshold or parasitics — moves at least one gate out of its
+window, while an intentional recalibration updates this table in the
+same commit as the physics change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.cells.library import CELL_NAMES
+from repro.cells.variants import DeviceVariant
+from repro.flows.full_flow import FullFlowResult
+from repro.reporting.paper import FIG5_REFERENCE, TEXT_CLAIMS
+from repro.verify.report import (
+    CheckResult,
+    STATUS_FAIL,
+    STATUS_PASS,
+    STATUS_SKIP,
+)
+
+#: Reproduction half-widths around the paper's Figure 5 averages, in
+#: percentage points (documented in EXPERIMENTS.md "Known deviations":
+#: delay lands within ~3 points of the paper, power within ~1.5,
+#: area — a pure design-rule computation — within ~4).
+FIG5_HALF_WIDTH = {"delay": 3.0, "power": 1.5, "area": 4.0}
+
+#: Variant labels of the Figure 5 reference table.
+_FIG5_VARIANTS = {
+    "1-ch": DeviceVariant.MIV_1CH,
+    "2-ch": DeviceVariant.MIV_2CH,
+    "4-ch": DeviceVariant.MIV_4CH,
+}
+
+
+@dataclass(frozen=True)
+class PaperGate:
+    """One paper claim as an executable acceptance check.
+
+    Attributes
+    ----------
+    name:
+        Stable gate identifier (``gate.<family>.<claim>``).
+    paper_value:
+        The number as printed in the paper.
+    window:
+        Inclusive (lo, hi) acceptance window for our measurement.
+    extract:
+        Measurement extractor over a :class:`FullFlowResult`.
+    requires_full_library:
+        Figure 5 averages are defined over all 14 cells; gates that
+        need them are *skipped* (not failed) on reduced flows.
+    """
+
+    name: str
+    paper_value: float
+    window: Tuple[float, float]
+    extract: Callable[[FullFlowResult], float]
+    requires_full_library: bool = False
+    unit: str = "%"
+
+    def evaluate(self, flow: FullFlowResult) -> CheckResult:
+        """Measure the claim on a flow result and judge it."""
+        if self.requires_full_library and \
+                not _has_full_library(flow):
+            return CheckResult(
+                name=self.name, status=STATUS_SKIP,
+                expected=self._window_text(),
+                detail="library-average gate skipped on a reduced "
+                       "flow (needs all 14 cells x 4 variants)")
+        try:
+            measured = self.extract(flow)
+        except Exception as exc:  # artifact missing from this flow
+            return CheckResult(
+                name=self.name, status=STATUS_SKIP,
+                expected=self._window_text(),
+                detail=f"not measurable on this flow: {exc}")
+        lo, hi = self.window
+        ok = lo <= measured <= hi and math.isfinite(measured)
+        return CheckResult(
+            name=self.name,
+            status=STATUS_PASS if ok else STATUS_FAIL,
+            measured=measured, expected=self._window_text(),
+            tolerance=f"window [{lo:g}, {hi:g}]",
+            detail=f"paper: {self.paper_value:g}{self.unit}, "
+                   f"measured: {measured:.2f}{self.unit}")
+
+    def _window_text(self) -> str:
+        lo, hi = self.window
+        return (f"paper {self.paper_value:g}{self.unit} within "
+                f"[{lo:g}, {hi:g}]")
+
+
+def _has_full_library(flow: FullFlowResult) -> bool:
+    try:
+        cells = set(flow.ppa.cell_names)
+    except Exception:
+        return False
+    if not set(CELL_NAMES) <= cells:
+        return False
+    for cell in CELL_NAMES:
+        for variant in DeviceVariant:
+            if variant not in flow.ppa.results.get(cell, {}):
+                return False
+    return True
+
+
+def _table3_gates() -> List[PaperGate]:
+    """Every Table III cell — and the worst cell — below the paper's
+    10 % ceiling."""
+    bound = TEXT_CLAIMS["extraction_error_bound_percent"]
+
+    def max_error(flow: FullFlowResult) -> float:
+        return flow.extraction.max_error()
+
+    gates = [PaperGate(
+        name="gate.table3.max_error",
+        paper_value=bound, window=(0.0, bound),
+        extract=max_error)]
+
+    def region_error(region: str):
+        def extract(flow: FullFlowResult) -> float:
+            return max(dev.errors[region]
+                       for dev in flow.extraction.devices)
+        return extract
+
+    for region in ("IDVG", "IDVD", "CV"):
+        gates.append(PaperGate(
+            name=f"gate.table3.{region.lower()}",
+            paper_value=bound, window=(0.0, bound),
+            extract=region_error(region)))
+    return gates
+
+
+def _fig5_gates() -> List[PaperGate]:
+    """Library-average PPA deltas inside reproduction windows."""
+    gates = []
+    for metric, per_variant in FIG5_REFERENCE.items():
+        half = FIG5_HALF_WIDTH[metric]
+        for label, paper_value in per_variant.items():
+            variant = _FIG5_VARIANTS[label]
+
+            def extract(flow: FullFlowResult, v=variant, m=metric,
+                        ) -> float:
+                return flow.ppa.average_change_percent(v, m)
+
+            gates.append(PaperGate(
+                name=f"gate.fig5.{metric}.{label}",
+                paper_value=paper_value,
+                window=(paper_value - half, paper_value + half),
+                extract=extract, requires_full_library=True))
+    return gates
+
+
+def _headline_gates() -> List[PaperGate]:
+    """Sign/summary claims: 4-ch delay penalty, 2-ch PDP saving, the
+    substrate-area bound."""
+
+    def delay_4ch(flow: FullFlowResult) -> float:
+        return flow.ppa.average_change_percent(DeviceVariant.MIV_4CH,
+                                               "delay")
+
+    def pdp_2ch(flow: FullFlowResult) -> float:
+        return flow.ppa.average_change_percent(DeviceVariant.MIV_2CH,
+                                               "pdp")
+
+    def substrate_best(flow: FullFlowResult) -> float:
+        return 100.0 * flow.areas.best_reduction(
+            DeviceVariant.MIV_4CH, metric="top")
+
+    return [
+        PaperGate(
+            name="gate.summary.delay_4ch_positive",
+            paper_value=FIG5_REFERENCE["delay"]["4-ch"],
+            window=(0.0, 6.0), extract=delay_4ch,
+            requires_full_library=True),
+        PaperGate(
+            name="gate.summary.pdp_2ch_reduction",
+            paper_value=-TEXT_CLAIMS["pdp_reduction_2ch_percent"],
+            window=(-9.0, -1.0), extract=pdp_2ch,
+            requires_full_library=True),
+        PaperGate(
+            name="gate.summary.substrate_area_bound",
+            paper_value=TEXT_CLAIMS["substrate_area_reduction_percent"],
+            window=(20.0, 35.0), extract=substrate_best),
+    ]
+
+
+def paper_gates() -> List[PaperGate]:
+    """The complete paper-gate table."""
+    return _table3_gates() + _fig5_gates() + _headline_gates()
+
+
+def evaluate_gates(flow: FullFlowResult,
+                   gates: Optional[List[PaperGate]] = None,
+                   ) -> List[CheckResult]:
+    """Judge every gate against one flow's artifacts."""
+    return [gate.evaluate(flow) for gate in (gates or paper_gates())]

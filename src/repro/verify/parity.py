@@ -1,0 +1,262 @@
+"""Cross-mode parity matrix over the full pipeline.
+
+The engine's central determinism promise is that execution *mode* never
+changes the *numbers*: serial vs parallel, traced vs untraced, cold vs
+warm cache, and fault-injected runs that recover through retries must
+all produce bit-identical artifacts, and solver-rescue recoveries must
+stay inside a documented tolerance class.
+
+This module runs a reduced (but real) ``run_full_flow`` once per mode
+and diffs every artifact — Table III extraction errors and per-cell PPA
+numbers — against the serial-cold baseline.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cells.variants import DeviceVariant
+from repro.engine import Engine
+from repro.geometry.transistor_layout import ChannelCount
+from repro.resilience import (
+    FaultInjector,
+    RetryPolicy,
+    clear_faults,
+    install,
+)
+from repro.verify.report import CheckResult, STATUS_FAIL, STATUS_PASS
+from repro.verify.tolerances import tolerance_class
+
+#: Reduced flow the matrix runs per mode (kept small: the point is mode
+#: coverage, not library coverage — the full library runs in suite
+#: ``all`` anyway).
+PARITY_CELLS = ("INV1X1",)
+PARITY_VARIANTS = (DeviceVariant.TWO_D, DeviceVariant.MIV_1CH)
+PARITY_EXTRACTION = (ChannelCount.TRADITIONAL, ChannelCount.ONE)
+
+
+@dataclass(frozen=True)
+class ParityCell:
+    """One execution mode of the parity matrix.
+
+    Attributes
+    ----------
+    name:
+        Matrix-cell identifier (``parity.<mode>``).
+    max_workers:
+        Engine width (1 = serial path, >1 = process pool).
+    warm_from:
+        Name of the matrix cell whose disk cache this run reuses
+        (None = cold: a fresh cache directory).
+    traced:
+        Run under an active recording tracer.
+    faults:
+        Fault-injection spec installed for the run (None = clean).
+    retries:
+        Task retries granted to the engine (for ``stage_exc`` faults).
+    comparison:
+        ``bitwise`` — artifacts must equal the baseline exactly;
+        ``tolerance`` — equal within :attr:`tolerance` (documented
+        rescue-path deviation).
+    tolerance:
+        Tolerance class for ``comparison == "tolerance"``.
+    """
+
+    name: str
+    description: str
+    max_workers: int = 1
+    warm_from: Optional[str] = None
+    traced: bool = False
+    faults: Optional[str] = None
+    retries: int = 0
+    comparison: str = "bitwise"
+    tolerance: str = "calibrated"
+
+
+#: The matrix: {serial, parallel} x {traced, untraced} x {cold, warm}
+#: x {fault-injected with recovery}.  The baseline must come first.
+PARITY_MATRIX: Tuple[ParityCell, ...] = (
+    ParityCell(
+        name="serial-cold",
+        description="reference run: one worker, fresh cache"),
+    ParityCell(
+        name="parallel-cold",
+        description="process-pool run, fresh cache", max_workers=2),
+    ParityCell(
+        name="serial-warm",
+        description="serial replay from the serial-cold disk cache",
+        warm_from="serial-cold"),
+    ParityCell(
+        name="parallel-warm",
+        description="pool replay from the parallel-cold disk cache",
+        max_workers=2, warm_from="parallel-cold"),
+    ParityCell(
+        name="traced-serial-cold",
+        description="serial cold run under an active tracer",
+        traced=True),
+    ParityCell(
+        name="traced-parallel-cold",
+        description="pool cold run under an active tracer",
+        max_workers=2, traced=True),
+    ParityCell(
+        name="faulted-retry",
+        description="injected stage exceptions healed by task retries "
+                    "(must stay bit-identical)",
+        faults="stage_exc:cell_ppa:first=1", retries=2),
+    ParityCell(
+        name="faulted-rescue",
+        description="injected transient non-convergence healed by the "
+                    "solver rescue ladder (tolerance-equal)",
+        faults="convergence:transient.newton:first=2",
+        comparison="tolerance"),
+)
+
+#: Modes of the fast suite (one representative per mechanism).
+FAST_MODES = ("serial-cold", "parallel-cold", "serial-warm",
+              "faulted-rescue")
+
+
+def flow_artifacts(flow) -> Dict[str, float]:
+    """Flatten a :class:`FullFlowResult` into comparable numbers."""
+    out: Dict[str, float] = {"extraction.max_error":
+                             flow.extraction.max_error()}
+    for device in flow.extraction.devices:
+        label = (f"{device.targets.variant.name}:"
+                 f"{device.targets.polarity.value}")
+        for region, error in sorted(device.errors.items()):
+            out[f"extraction.{region}.{label}"] = error
+    for cell in flow.ppa.cell_names:
+        for variant, item in sorted(flow.ppa.results[cell].items(),
+                                    key=lambda kv: kv[0].value):
+            prefix = f"ppa.{cell}.{variant.value}"
+            out[f"{prefix}.delay"] = item.delay
+            out[f"{prefix}.power"] = item.power
+            out[f"{prefix}.area"] = item.area
+            out[f"{prefix}.substrate"] = item.substrate
+    return out
+
+
+def _compare(cell: ParityCell, baseline: Dict[str, float],
+             candidate: Dict[str, float]) -> Tuple[bool, str]:
+    """Judge one matrix cell's artifacts against the baseline."""
+    if set(baseline) != set(candidate):
+        missing = sorted(set(baseline) - set(candidate))
+        extra = sorted(set(candidate) - set(baseline))
+        return False, (f"artifact key mismatch: missing {missing[:4]}, "
+                       f"extra {extra[:4]}")
+    if cell.comparison == "bitwise":
+        mismatched = [k for k in sorted(baseline)
+                      if not (baseline[k] == candidate[k])]
+        if mismatched:
+            worst = mismatched[0]
+            return False, (f"{len(mismatched)} artifacts differ "
+                           f"bitwise, e.g. {worst}: "
+                           f"{baseline[worst]!r} != {candidate[worst]!r}")
+        return True, f"{len(baseline)} artifacts bit-identical"
+    tol = tolerance_class(cell.tolerance)
+    worst_key, worst_err = "", 0.0
+    for key in sorted(baseline):
+        err = tol.relative_error(baseline[key], candidate[key])
+        if err > worst_err:
+            worst_key, worst_err = key, err
+    if not all(tol.accepts(baseline[k], candidate[k])
+               for k in baseline):
+        return False, (f"outside tolerance class {tol.name!r}: "
+                       f"{worst_key} rel err {worst_err:.3e}")
+    return True, (f"{len(baseline)} artifacts within {tol.name!r} "
+                  f"(worst rel err {worst_err:.3e} at "
+                  f"{worst_key or 'n/a'})")
+
+
+def _run_mode(cell: ParityCell, cache_dir: Path,
+              flow_kwargs: Dict[str, Any]):
+    """Execute the reduced flow under one mode's engine/fault setup."""
+    from repro.flows.full_flow import run_full_flow
+    from repro.observe import Tracer
+    engine = Engine(
+        max_workers=cell.max_workers, cache_dir=cache_dir,
+        retry_policy=RetryPolicy(retries=cell.retries, backoff=0.0))
+    injector = (FaultInjector.parse(cell.faults)
+                if cell.faults else None)
+    observe = Tracer() if cell.traced else None
+    install(injector) if injector else clear_faults()
+    try:
+        return run_full_flow(engine=engine, observe=observe,
+                             **flow_kwargs)
+    finally:
+        clear_faults()
+
+
+def run_parity_matrix(
+        cells: Sequence[str] = PARITY_CELLS,
+        variants: Sequence[DeviceVariant] = PARITY_VARIANTS,
+        extraction_variants: Sequence[ChannelCount] = PARITY_EXTRACTION,
+        modes: Optional[Sequence[str]] = None,
+        workdir: Optional[Path] = None) -> List[CheckResult]:
+    """Run the matrix and diff every mode against serial-cold.
+
+    ``modes`` selects a subset by name (the baseline always runs);
+    ``workdir`` hosts the per-mode cache directories (a temporary
+    directory by default).
+    """
+    wanted = set(modes) if modes is not None else \
+        {c.name for c in PARITY_MATRIX}
+    selected = [c for c in PARITY_MATRIX
+                if c.name in wanted or c.name == "serial-cold"]
+    unknown = wanted - {c.name for c in PARITY_MATRIX}
+    if unknown:
+        from repro.errors import ReproError
+        raise ReproError(f"unknown parity modes: {sorted(unknown)}")
+    # Warm modes need their cold donor in the run.
+    names = {c.name for c in selected}
+    selected += [c for c in PARITY_MATRIX
+                 if c.name in {w.warm_from for w in selected
+                               if w.warm_from} - names]
+    selected.sort(key=lambda c: [m.name for m in PARITY_MATRIX]
+                  .index(c.name))
+
+    flow_kwargs = dict(cells=list(cells), variants=list(variants),
+                       extraction_variants=list(extraction_variants))
+    results: List[CheckResult] = []
+    baseline: Optional[Dict[str, float]] = None
+    with tempfile.TemporaryDirectory(
+            prefix="repro-parity-") as scratch:
+        base = Path(workdir) if workdir is not None else Path(scratch)
+        cache_dirs: Dict[str, Path] = {}
+        for cell in selected:
+            cache_dir = (cache_dirs[cell.warm_from] if cell.warm_from
+                         else base / f"cache-{cell.name}")
+            cache_dirs[cell.name] = cache_dir
+            start = time.perf_counter()
+            try:
+                flow = _run_mode(cell, cache_dir, flow_kwargs)
+            except Exception as exc:
+                results.append(CheckResult(
+                    name=f"parity.{cell.name}", status=STATUS_FAIL,
+                    detail=f"{cell.description}; run raised "
+                           f"{type(exc).__name__}: {exc}",
+                    wall_time_s=time.perf_counter() - start))
+                continue
+            elapsed = time.perf_counter() - start
+            artifacts = flow_artifacts(flow)
+            if baseline is None:
+                baseline = artifacts
+                results.append(CheckResult(
+                    name=f"parity.{cell.name}", status=STATUS_PASS,
+                    measured=len(artifacts), tolerance="baseline",
+                    detail=cell.description, wall_time_s=elapsed))
+                continue
+            ok, note = _compare(cell, baseline, artifacts)
+            results.append(CheckResult(
+                name=f"parity.{cell.name}",
+                status=STATUS_PASS if ok else STATUS_FAIL,
+                measured=len(artifacts),
+                tolerance=(cell.comparison if cell.comparison ==
+                           "bitwise" else cell.tolerance),
+                detail=f"{cell.description}; {note}",
+                wall_time_s=elapsed))
+    return results

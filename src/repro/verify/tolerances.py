@@ -1,0 +1,98 @@
+"""Tolerance classes for golden comparisons.
+
+A golden quantity declares *how equal* a fresh measurement must be, by
+naming one of a small, ordered family of tolerance classes.  The order
+matters: regenerating a golden may keep or *tighten* a quantity's
+class silently, but widening it (say ``tight`` -> ``calibrated``) is a
+statement that the pipeline got less reproducible and needs the
+explicit ``--allow-widen`` flag.
+
+Classes
+-------
+``exact``
+    Bit-for-bit equality.  For integers, enumerations and quantities
+    the engine guarantees deterministic (e.g. task counts).
+``tight``
+    Relative error <= 1e-9.  Solver outputs of deterministic in-process
+    arithmetic (Poisson/DD curves, compact-model evaluations, SPICE
+    waveform samples).
+``numeric``
+    Relative error <= 1e-6.  Quantities funnelled through iterative
+    optimisers (extraction fit errors, PPA numbers) where the last few
+    bits are at the mercy of library versions.
+``calibrated``
+    Relative error <= 1e-3.  Quantities documented as tolerance-equal
+    rather than identical — e.g. artifacts recomputed through a solver
+    rescue ladder.
+``loose``
+    Relative error <= 5e-2.  Shape-level agreement only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """One named tolerance class.
+
+    Attributes
+    ----------
+    name:
+        The class name (key into :data:`TOLERANCE_CLASSES`).
+    rtol:
+        Maximum allowed relative error.
+    atol:
+        Absolute floor below which differences are ignored (guards
+        quantities whose true value is 0).
+    rank:
+        Position in the strictness order (0 = strictest).
+    """
+
+    name: str
+    rtol: float
+    atol: float
+    rank: int
+
+    def accepts(self, expected: float, measured: float) -> bool:
+        """True when ``measured`` is within tolerance of ``expected``."""
+        if math.isnan(expected) or math.isnan(measured):
+            return math.isnan(expected) and math.isnan(measured)
+        if self.rtol == 0.0 and self.atol == 0.0:
+            return expected == measured
+        return abs(measured - expected) <= \
+            self.atol + self.rtol * abs(expected)
+
+    def relative_error(self, expected: float, measured: float) -> float:
+        """|measured - expected| / max(|expected|, atol-floor)."""
+        denom = max(abs(expected), self.atol, 1e-300)
+        return abs(measured - expected) / denom
+
+    def is_wider_than(self, other: "Tolerance") -> bool:
+        """True when this class accepts strictly more drift."""
+        return self.rank > other.rank
+
+
+#: The ordered tolerance family, strictest first.
+TOLERANCE_CLASSES: Dict[str, Tolerance] = {
+    "exact": Tolerance("exact", rtol=0.0, atol=0.0, rank=0),
+    "tight": Tolerance("tight", rtol=1e-9, atol=1e-30, rank=1),
+    "numeric": Tolerance("numeric", rtol=1e-6, atol=1e-24, rank=2),
+    "calibrated": Tolerance("calibrated", rtol=1e-3, atol=1e-18, rank=3),
+    "loose": Tolerance("loose", rtol=5e-2, atol=1e-15, rank=4),
+}
+
+
+def tolerance_class(name: str) -> Tolerance:
+    """Look a tolerance class up by name."""
+    try:
+        return TOLERANCE_CLASSES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown tolerance class {name!r}; valid classes: "
+            f"{', '.join(TOLERANCE_CLASSES)}") from None

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest_plugins = ("repro.verify.plugin",)
+
 from repro.cells.variants import DeviceVariant, extracted_model_set
 from repro.engine import reset_default_engine
 from repro.engine.cache import CACHE_DIR_ENV
@@ -91,3 +93,16 @@ def model_set_2d():
 def model_set_2ch():
     """Extracted (nmos, pmos) models of the 2-channel variant."""
     return extracted_model_set(DeviceVariant.MIV_2CH)
+
+
+@pytest.fixture(scope="session")
+def model_sets():
+    """Extracted model sets for every variant, built lazily by name."""
+    cache = {}
+
+    def get(variant: DeviceVariant):
+        if variant not in cache:
+            cache[variant] = extracted_model_set(variant)
+        return cache[variant]
+
+    return get

@@ -29,6 +29,30 @@ def test_cell_truth_table_in_spice_2ch(name, model_set_2ch):
     assert report.passed
 
 
+@pytest.mark.slow
+@pytest.mark.parametrize("variant", [DeviceVariant.MIV_1CH,
+                                     DeviceVariant.MIV_2CH,
+                                     DeviceVariant.MIV_4CH],
+                         ids=lambda v: v.value)
+@pytest.mark.parametrize("name", CELL_NAMES)
+def test_cell_truth_table_full_matrix(name, variant, model_sets):
+    """The complete 14 cells x 4 variants functional matrix.
+
+    The 2-D column runs unmarked above; the three MIV columns ride
+    behind ``slow``.  Every implementation must realise its oracle
+    with full noise margins — a variant-specific netlisting bug
+    (e.g. a MIV stacking error on one polarity) fails exactly one
+    column of this matrix, which is the diagnostic we want.
+    """
+    spec = get_cell(name)
+    report = verify_cell(spec, model_sets(variant))
+    assert report.passed, [
+        (row.inputs, row.expected, row.measured_voltage)
+        for row in report.failures]
+    assert len(report.rows) == 2 ** len(spec.inputs)
+    assert report.variant is variant
+
+
 def test_noise_margins_are_healthy(model_set_2d):
     """Static CMOS at 1 fA-scale leakage: rails within a few mV."""
     report = verify_cell(get_cell("NAND2X1"), model_set_2d)

@@ -1,0 +1,178 @@
+"""Unit tests of the golden store, tolerance classes and report."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.verify.goldens import GoldenStore, _jsonable
+from repro.verify.report import (
+    CheckResult,
+    STATUS_FAIL,
+    STATUS_PASS,
+    STATUS_SKIP,
+    VerifyReport,
+)
+from repro.verify.tolerances import TOLERANCE_CLASSES, tolerance_class
+
+
+# ----------------------------------------------------------------------
+# tolerance classes
+# ----------------------------------------------------------------------
+def test_tolerance_classes_ordered_by_rank():
+    ranks = [tolerance_class(n).rank for n in
+             ("exact", "tight", "numeric", "calibrated", "loose")]
+    assert ranks == sorted(ranks)
+    assert len(set(ranks)) == len(ranks)
+
+
+def test_tolerance_widening_detection():
+    assert tolerance_class("loose").is_wider_than(
+        tolerance_class("tight"))
+    assert not tolerance_class("tight").is_wider_than(
+        tolerance_class("loose"))
+    assert not tolerance_class("numeric").is_wider_than(
+        tolerance_class("numeric"))
+
+
+def test_tolerance_accepts():
+    tight = tolerance_class("tight")
+    assert tight.accepts(1.0, 1.0 + 1e-12)
+    assert not tight.accepts(1.0, 1.0 + 1e-6)
+    exact = tolerance_class("exact")
+    assert exact.accepts(3.5, 3.5)
+    assert not exact.accepts(3.5, np.nextafter(3.5, 4.0))
+
+
+def test_unknown_tolerance_class_raises():
+    with pytest.raises(ReproError, match="tolerance"):
+        tolerance_class("fuzzy")
+
+
+def test_every_class_accepts_identical_values():
+    for name in TOLERANCE_CLASSES:
+        tol = tolerance_class(name)
+        assert tol.accepts(0.0, 0.0)
+        assert tol.accepts(-2.5e-9, -2.5e-9)
+
+
+# ----------------------------------------------------------------------
+# golden store
+# ----------------------------------------------------------------------
+@pytest.fixture
+def store(tmp_path):
+    return GoldenStore(root=tmp_path, update=True)
+
+
+def test_update_then_diff_roundtrip(store):
+    measured = {"scalar": 1.25, "array": np.array([1.0, 2.0, 4.0])}
+    diff = store.check("demo", measured, default_tolerance="tight")
+    assert diff.passed
+    again = store.diff("demo", measured)
+    assert again.passed and len(again.quantities) == 2
+
+
+def test_diff_reports_per_quantity_relative_error(store):
+    store.update_golden("demo", {"a": 2.0, "b": 4.0},
+                        default_tolerance="numeric")
+    diff = store.diff("demo", {"a": 2.0, "b": 4.0 * (1 + 1e-3)})
+    assert not diff.passed
+    failing = {q.name: q for q in diff.failures}
+    assert set(failing) == {"b"}
+    assert failing["b"].max_relative_error == pytest.approx(1e-3,
+                                                            rel=1e-6)
+    assert "b" in diff.render()
+
+
+def test_diff_catches_missing_and_unexpected_keys(store):
+    store.update_golden("demo", {"kept": 1.0, "gone": 2.0})
+    diff = store.diff("demo", {"kept": 1.0, "new": 3.0})
+    assert not diff.passed
+    assert diff.missing == ["gone"]
+    assert diff.unexpected == ["new"]
+
+
+def test_diff_catches_shape_mismatch(store):
+    store.update_golden("demo", {"arr": [1.0, 2.0]})
+    diff = store.diff("demo", {"arr": [1.0, 2.0, 3.0]})
+    assert not diff.passed
+    assert "shape mismatch" in diff.failures[0].note
+
+
+def test_regeneration_is_byte_identical(store):
+    measured = {"x": np.float64(1.0) / 3.0,
+                "grid": np.linspace(0.0, 1.0, 7)}
+    first = store.update_golden("demo", measured).read_bytes()
+    second = store.update_golden("demo", measured).read_bytes()
+    assert first == second
+
+
+def test_update_refuses_tolerance_widening(tmp_path):
+    store = GoldenStore(root=tmp_path, update=True)
+    store.update_golden("demo", {"x": 1.0}, default_tolerance="tight")
+    with pytest.raises(ReproError, match="widen"):
+        store.update_golden("demo", {"x": 1.0},
+                            default_tolerance="loose")
+    # Per-quantity widening is refused too.
+    with pytest.raises(ReproError, match="widen"):
+        store.update_golden("demo", {"x": 1.0},
+                            tolerances={"x": "numeric"},
+                            default_tolerance="tight")
+
+
+def test_update_allows_widening_with_flag(tmp_path):
+    store = GoldenStore(root=tmp_path, update=True, allow_widen=True)
+    store.update_golden("demo", {"x": 1.0}, default_tolerance="tight")
+    store.update_golden("demo", {"x": 1.0}, default_tolerance="loose")
+    assert json.loads(store.path("demo").read_text())[
+        "default_tolerance"] == "loose"
+
+
+def test_tightening_never_needs_the_flag(tmp_path):
+    store = GoldenStore(root=tmp_path, update=True)
+    store.update_golden("demo", {"x": 1.0}, default_tolerance="loose")
+    store.update_golden("demo", {"x": 1.0}, default_tolerance="tight")
+
+
+def test_check_without_golden_raises_in_diff_mode(tmp_path):
+    store = GoldenStore(root=tmp_path, update=False)
+    with pytest.raises(ReproError, match="--update-goldens"):
+        store.check("absent", {"x": 1.0})
+
+
+def test_schema_mismatch_rejected(tmp_path):
+    path = tmp_path / "demo.json"
+    path.write_text(json.dumps({"schema": 99, "quantities": {}}))
+    with pytest.raises(ReproError, match="schema"):
+        GoldenStore(root=tmp_path).load("demo")
+
+
+def test_jsonable_rejects_exotic_types():
+    with pytest.raises(ReproError, match="scalars"):
+        _jsonable(object())
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+def test_report_counts_and_verdict(tmp_path):
+    report = VerifyReport(suite="unit")
+    report.add(CheckResult(name="a", status=STATUS_PASS))
+    report.add(CheckResult(name="b", status=STATUS_SKIP))
+    assert report.passed
+    report.add(CheckResult(name="c", status=STATUS_FAIL,
+                           detail="boom"))
+    assert not report.passed
+    assert report.counts == {"pass": 1, "fail": 1, "skip": 1}
+    assert [c.name for c in report.failures] == ["c"]
+
+    path = report.write(tmp_path / "verify_report.json")
+    document = json.loads(path.read_text())
+    assert document["suite"] == "unit"
+    assert document["passed"] is False
+    assert len(document["checks"]) == 3
+    rendered = report.render()
+    assert "FAIL" in rendered and "boom" in rendered

@@ -1,0 +1,63 @@
+"""Committed goldens vs fresh measurements (the ``golden`` marker)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.snapshots import (
+    PIPELINE_GOLDENS,
+    SOLVER_GOLDENS,
+)
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.mark.parametrize("name", sorted(SOLVER_GOLDENS))
+def test_solver_golden(name, check_golden):
+    builder, tolerance = SOLVER_GOLDENS[name]
+    check_golden(name, builder(), default_tolerance=tolerance,
+                 description=f"verify golden {name}")
+
+
+@pytest.mark.slow
+@pytest.mark.engine
+@pytest.mark.parametrize("name", sorted(PIPELINE_GOLDENS))
+def test_pipeline_golden(name, check_golden):
+    builder, tolerance = PIPELINE_GOLDENS[name]
+    check_golden(name, builder(), default_tolerance=tolerance,
+                 description=f"verify golden {name}")
+
+
+def test_golden_detects_mobility_perturbation(monkeypatch):
+    """+1% bar mobility must trip the dd1d golden (sensitivity
+    check: the tolerance classes are tight enough to see a physics
+    drift an eyeball comparison would miss)."""
+    import repro.tcad.dd1d as dd
+    from repro.verify.goldens import GoldenStore
+    from repro.verify.snapshots import dd1d_snapshot
+    original = dd.uniform_bar
+
+    def perturbed(*args, **kwargs):
+        bar = original(*args, **kwargs)
+        return dd.Bar1D(length=bar.length, area=bar.area,
+                        doping=bar.doping, n_nodes=bar.n_nodes,
+                        mobility=bar.mobility * 1.01)
+
+    monkeypatch.setattr(dd, "uniform_bar", perturbed)
+    diff = GoldenStore().diff("dd1d_bar", dd1d_snapshot())
+    assert not diff.passed
+    assert any(q.name == "currents" for q in diff.failures)
+
+
+def test_registries_do_not_overlap():
+    assert not set(SOLVER_GOLDENS) & set(PIPELINE_GOLDENS)
+
+
+def test_snapshots_are_flat_json_friendly_dicts():
+    from repro.verify.goldens import _jsonable
+    from repro.verify.snapshots import poisson1d_snapshot
+    snapshot = poisson1d_snapshot()
+    assert snapshot and isinstance(snapshot, dict)
+    for key, value in snapshot.items():
+        assert isinstance(key, str)
+        _jsonable(value)  # raises on exotic types
