@@ -55,7 +55,7 @@ from repro.ppa.runner import DEFAULT_DT, PpaRunner
 from repro.resilience import FaultInjector, RetryPolicy
 from repro.tcad.device import Polarity, design_for_variant
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ChannelCount",

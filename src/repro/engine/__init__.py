@@ -15,13 +15,38 @@ tasks it depends on.  The engine
   ProcessPoolExecutor` with dependency-aware scheduling
   (``max_workers=1`` forces deterministic serial execution);
 * records a :class:`RunManifest` of per-task wall time, cache hit/miss
-  and worker id for every run.
+  and worker id for every run;
+* survives crashes and coexists across processes (see
+  :mod:`repro.engine.durability`): runs can journal every task outcome
+  to an append-only fsync'd :class:`RunJournal` and be resumed after a
+  ``kill -9``, disk-cache access is serialised with advisory file
+  locks, concurrent invocations sharing one cache directory
+  single-flight their misses, the store is bounded by an LRU budget
+  (``REPRO_CACHE_MAX_BYTES``), and SIGINT/SIGTERM drain gracefully
+  within ``REPRO_SHUTDOWN_GRACE`` seconds.
 
 See ``repro.engine.pipeline`` for the paper pipeline's stage
-definitions and task builders.
+definitions and task builders, and ``repro.flows.durable`` for the
+journalled flow runner and its ``python -m repro.flows`` CLI.
 """
 
-from repro.engine.cache import ArtifactCache, resolve_cache_dir
+from repro.engine.cache import ArtifactCache, parse_size, resolve_cache_dir
+from repro.engine.durability import (
+    EXIT_FAILURE,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_USAGE,
+    CancellationToken,
+    GracefulShutdown,
+    JournalState,
+    RunJournal,
+    list_runs,
+    load_run,
+    new_run_id,
+    replay_journal,
+    resolve_shutdown_grace,
+    run_dir,
+)
 from repro.engine.executor import (
     Engine,
     EngineRun,
@@ -32,7 +57,14 @@ from repro.engine.executor import (
     set_default_engine,
 )
 from repro.engine.fingerprint import canonicalize, fingerprint
-from repro.engine.manifest import RunManifest, TaskFailure, TaskRecord
+from repro.engine.locks import FileLock, resolve_lock_timeout
+from repro.engine.manifest import (
+    RunManifest,
+    STATUS_COMPLETED,
+    STATUS_INTERRUPTED,
+    TaskFailure,
+    TaskRecord,
+)
 from repro.engine.stages import (
     StageDef,
     get_stage,
@@ -43,9 +75,20 @@ from repro.engine.stages import (
 
 __all__ = [
     "ArtifactCache",
+    "CancellationToken",
+    "EXIT_FAILURE",
+    "EXIT_INTERRUPTED",
+    "EXIT_OK",
+    "EXIT_USAGE",
     "Engine",
     "EngineRun",
+    "FileLock",
+    "GracefulShutdown",
+    "JournalState",
+    "RunJournal",
     "RunManifest",
+    "STATUS_COMPLETED",
+    "STATUS_INTERRUPTED",
     "StageDef",
     "Task",
     "TaskFailure",
@@ -54,11 +97,19 @@ __all__ = [
     "default_engine",
     "fingerprint",
     "get_stage",
+    "list_runs",
+    "load_run",
+    "new_run_id",
+    "parse_size",
     "register_stage",
     "registered_stages",
+    "replay_journal",
     "reset_default_engine",
     "resolve_cache_dir",
+    "resolve_lock_timeout",
+    "resolve_shutdown_grace",
     "resolve_worker_count",
+    "run_dir",
     "set_default_engine",
     "unregister_stage",
 ]

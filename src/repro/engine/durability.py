@@ -1,0 +1,441 @@
+"""Crash-safe run durability: journals, pins, graceful shutdown.
+
+A *durable* run writes an append-only, fsync'd journal under the cache
+directory (``<cache_dir>/runs/<run_id>/journal.jsonl``): one ``begin``
+record carrying the flow parameters, one ``task`` record per task
+outcome, ``resume`` markers, and an ``end`` record.  Because every
+artefact is content-addressed, the journal does not need to carry data
+— after a ``kill -9`` at any point, :func:`replay_journal` recovers the
+longest consistent record prefix (a torn final line is discarded), and
+a resumed run simply re-executes the same graph: completed entries are
+*trusted only through the content-addressed disk cache* (the journal
+says what finished; the cache's fingerprint/format/version validation
+says whether the bytes are still good), everything else is recomputed.
+At most the in-flight tasks of the killed process are lost.
+
+The same directory holds the run's ``ACTIVE`` marker and ``pins.json``
+(the graph's artefact keys): LRU eviction never removes an entry pinned
+by a live — or recently interrupted, hence resumable — run.
+
+Graceful shutdown: :class:`GracefulShutdown` converts SIGINT/SIGTERM
+into a :class:`CancellationToken` the engine polls at task boundaries.
+The engine stops scheduling, drains in-flight tasks for up to
+``REPRO_SHUTDOWN_GRACE`` seconds, then raises
+:class:`~repro.errors.RunInterrupted` with the partial manifest; the
+CLI flushes journal + manifest and exits :data:`EXIT_INTERRUPTED` so a
+wrapper can auto-resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Set
+
+from repro.errors import ReproError
+
+#: Environment variable bounding the shutdown drain window [s].
+SHUTDOWN_GRACE_ENV = "REPRO_SHUTDOWN_GRACE"
+
+#: Default drain window when the env var is unset [s].
+DEFAULT_SHUTDOWN_GRACE = 5.0
+
+#: Subdirectory of the cache dir holding per-run journals.
+RUNS_DIRNAME = "runs"
+
+#: Journal schema version (bump on incompatible record changes).
+JOURNAL_FORMAT = 1
+
+#: Age past which an ``ACTIVE`` marker no longer pins cache entries.
+#: Bounds the eviction-pin leak of a run that was ``kill -9``'d and
+#: never resumed (a resume refreshes the marker).
+PIN_TTL_S = 24 * 3600.0
+
+#: Journal directories older than this are removed by maintenance.
+RUN_EXPIRY_S = 14 * 24 * 3600.0
+
+#: Process exit codes of the resume-aware CLIs.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+#: Distinct "interrupted but resumable" code (EX_TEMPFAIL) — a wrapper
+#: seeing it can re-invoke with ``resume <run_id>``.
+EXIT_INTERRUPTED = 75
+
+
+def new_run_id() -> str:
+    """A unique, sortable run identifier (utc time + pid + entropy)."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid()}-{os.urandom(3).hex()}"
+
+
+def runs_root(cache_dir: os.PathLike) -> Path:
+    """The per-run journal root under a cache directory."""
+    return Path(cache_dir) / RUNS_DIRNAME
+
+
+def run_dir(cache_dir: os.PathLike, run_id: str) -> Path:
+    """One run's journal directory."""
+    if not run_id or "/" in run_id or run_id.startswith("."):
+        raise ReproError(f"invalid run id {run_id!r}")
+    return runs_root(cache_dir) / run_id
+
+
+# ----------------------------------------------------------------------
+# the append-only journal
+# ----------------------------------------------------------------------
+class RunJournal:
+    """Append-only fsync'd JSONL journal of one run.
+
+    Every :meth:`append` writes one canonical JSON line, flushes and
+    fsyncs — after a crash the file holds a consistent prefix plus at
+    most one torn final line, which :func:`replay_journal` discards.
+    """
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, path: os.PathLike, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._handle: Optional[IO[str]] = None
+
+    @classmethod
+    def for_run(cls, cache_dir: os.PathLike, run_id: str,
+                fsync: bool = True) -> "RunJournal":
+        """The journal of one run under one cache directory."""
+        return cls(run_dir(cache_dir, run_id) / cls.FILENAME, fsync=fsync)
+
+    @property
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (one JSON line)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def replay_journal(path: os.PathLike) -> List[Dict[str, Any]]:
+    """Records of a journal file: the longest consistent prefix.
+
+    Reading stops at the first line that is not complete valid JSON —
+    a crash (or ``kill -9``) can tear at most the final append, so
+    everything before the tear is trusted and everything after it is
+    not.  Replaying is a pure read: calling it twice (or on a journal
+    that is being appended to) yields a stable, order-preserving
+    prefix.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return records
+    for raw in data.split(b"\n"):
+        if not raw:
+            continue
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            break
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+    return records
+
+
+@dataclass
+class JournalState:
+    """What a replayed journal says about a run.
+
+    ``tasks`` maps task id to its *latest* journalled status record
+    (idempotent under replay: later records for the same task win, so
+    resumed runs that re-record a task converge to one entry).
+    """
+
+    run_id: str = ""
+    flow: Optional[Dict[str, Any]] = None
+    tasks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    status: str = "unknown"
+    resumes: int = 0
+    records: int = 0
+
+    @classmethod
+    def from_records(cls, records: List[Dict[str, Any]]) -> "JournalState":
+        state = cls(records=len(records))
+        for record in records:
+            kind = record.get("type")
+            if kind == "begin":
+                state.run_id = record.get("run_id", "")
+                state.flow = record.get("flow")
+                state.status = "running"
+            elif kind == "resume":
+                state.resumes += 1
+                state.status = "running"
+            elif kind == "task":
+                task_id = record.get("id")
+                if task_id:
+                    state.tasks[str(task_id)] = record
+            elif kind == "end":
+                state.status = record.get("status", "unknown")
+        return state
+
+    @property
+    def begun(self) -> bool:
+        """True when the journal has a readable ``begin`` record."""
+        return self.flow is not None or bool(self.run_id)
+
+    def done(self) -> Dict[str, Dict[str, Any]]:
+        """Tasks whose latest record is a completed artefact."""
+        return {tid: rec for tid, rec in self.tasks.items()
+                if rec.get("status") == "done"}
+
+    def keys(self, status: Optional[str] = None) -> Set[str]:
+        """Artefact keys journalled for tasks (optionally by status)."""
+        return {rec["key"] for rec in self.tasks.values()
+                if "key" in rec
+                and (status is None or rec.get("status") == status)}
+
+
+def load_run(cache_dir: os.PathLike, run_id: str) -> JournalState:
+    """Replay one run's journal into a :class:`JournalState`."""
+    path = run_dir(cache_dir, run_id) / RunJournal.FILENAME
+    if not path.is_file():
+        raise ReproError(f"no journal for run {run_id!r} under "
+                         f"{runs_root(cache_dir)}")
+    state = JournalState.from_records(replay_journal(path))
+    if not state.begun:
+        raise ReproError(f"journal of run {run_id!r} has no readable "
+                         f"begin record (torn before first fsync?)")
+    if not state.run_id:
+        state.run_id = run_id
+    return state
+
+
+def list_runs(cache_dir: os.PathLike) -> List[Dict[str, Any]]:
+    """Summaries of every journalled run (newest first)."""
+    root = runs_root(cache_dir)
+    out: List[Dict[str, Any]] = []
+    if not root.is_dir():
+        return out
+    for entry in sorted(root.iterdir(), reverse=True):
+        journal = entry / RunJournal.FILENAME
+        if not journal.is_file():
+            continue
+        state = JournalState.from_records(replay_journal(journal))
+        done = len(state.done())
+        out.append({
+            "run_id": state.run_id or entry.name,
+            "status": state.status,
+            "tasks_done": done,
+            "tasks_failed": len(state.tasks) - done,
+            "resumes": state.resumes,
+            "active": (entry / "ACTIVE").is_file(),
+        })
+    return out
+
+
+# ----------------------------------------------------------------------
+# pins: what eviction must not touch
+# ----------------------------------------------------------------------
+def mark_active(directory: os.PathLike) -> None:
+    """Create/refresh the run's ``ACTIVE`` marker (mtime = heartbeat)."""
+    path = Path(directory) / "ACTIVE"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.touch()
+
+
+def clear_active(directory: os.PathLike) -> None:
+    """Remove the ``ACTIVE`` marker (run finished; pins lapse)."""
+    try:
+        os.unlink(Path(directory) / "ACTIVE")
+    except OSError:
+        pass
+
+
+def write_pins(directory: os.PathLike, keys) -> None:
+    """Persist the artefact keys a run depends on (atomic publish)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    tmp = directory / "pins.json.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(sorted(keys), handle)
+    os.replace(tmp, directory / "pins.json")
+
+
+def active_pins(cache_dir: os.PathLike,
+                ttl: float = PIN_TTL_S) -> Set[str]:
+    """Keys pinned by runs whose ``ACTIVE`` marker is fresher than ttl.
+
+    Covers both live runs in other processes and interrupted-but-
+    resumable runs; a marker the holder never cleared (``kill -9``,
+    never resumed) stops pinning after ``ttl`` seconds.
+    """
+    pins: Set[str] = set()
+    root = runs_root(cache_dir)
+    if not root.is_dir():
+        return pins
+    now = time.time()
+    for entry in root.iterdir():
+        marker = entry / "ACTIVE"
+        try:
+            if now - marker.stat().st_mtime > ttl:
+                continue
+        except OSError:
+            continue
+        try:
+            with open(entry / "pins.json", "r", encoding="utf-8") as fh:
+                pins.update(str(k) for k in json.load(fh))
+        except (OSError, ValueError):
+            continue
+    return pins
+
+
+def expire_runs(cache_dir: os.PathLike,
+                max_age: float = RUN_EXPIRY_S) -> int:
+    """Delete inactive journal directories older than ``max_age``."""
+    root = runs_root(cache_dir)
+    if not root.is_dir():
+        return 0
+    removed = 0
+    now = time.time()
+    for entry in list(root.iterdir()):
+        if (entry / "ACTIVE").is_file():
+            continue
+        try:
+            age = now - entry.stat().st_mtime
+        except OSError:
+            continue
+        if age <= max_age:
+            continue
+        for child in list(entry.iterdir()):
+            try:
+                os.unlink(child)
+            except OSError:
+                pass
+        try:
+            entry.rmdir()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+# ----------------------------------------------------------------------
+# graceful shutdown
+# ----------------------------------------------------------------------
+def resolve_shutdown_grace(grace: Optional[float] = None) -> float:
+    """Drain window: explicit > ``REPRO_SHUTDOWN_GRACE`` > default."""
+    if grace is not None:
+        return float(grace)
+    env = os.environ.get(SHUTDOWN_GRACE_ENV)
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ReproError(f"{SHUTDOWN_GRACE_ENV} must be a number, "
+                             f"got {env!r}") from None
+        if value < 0:
+            raise ReproError(f"{SHUTDOWN_GRACE_ENV} must be >= 0, "
+                             f"got {env!r}")
+        return value
+    return DEFAULT_SHUTDOWN_GRACE
+
+
+class CancellationToken:
+    """A cooperative stop request the engine polls at task boundaries.
+
+    ``grace`` is how long the engine may keep draining in-flight tasks
+    after the token is set before it kills the pool.
+    """
+
+    def __init__(self, grace: Optional[float] = None):
+        self.grace = resolve_shutdown_grace(grace)
+        self._event = threading.Event()
+        self.signum: Optional[int] = None
+
+    def request(self, signum: Optional[int] = None) -> None:
+        """Set the token (idempotent)."""
+        if self.signum is None:
+            self.signum = signum
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        if self.signum is None:
+            return "cancelled"
+        try:
+            return signal.Signals(self.signum).name
+        except ValueError:  # pragma: no cover - unnamed signal
+            return f"signal {self.signum}"
+
+
+class GracefulShutdown:
+    """Scope that turns SIGINT/SIGTERM into a cancellation token.
+
+    Inside the scope the first signal sets :attr:`token` (the run winds
+    down within the grace window); a second signal restores default
+    handling semantics by raising :class:`KeyboardInterrupt` — an
+    impatient operator can always bail immediately.  Handler
+    installation silently degrades to signal-less operation off the
+    main thread (the token still works programmatically).
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, grace: Optional[float] = None):
+        self.token = CancellationToken(grace)
+        self._previous: Dict[int, Any] = {}
+        self.installed = False
+
+    def _handle(self, signum, frame) -> None:
+        if self.token.is_set():
+            raise KeyboardInterrupt
+        self.token.request(signum)
+
+    def __enter__(self) -> "GracefulShutdown":
+        try:
+            for signum in self.SIGNALS:
+                self._previous[signum] = signal.signal(signum,
+                                                       self._handle)
+            self.installed = True
+        except ValueError:  # pragma: no cover - non-main thread
+            self._restore()
+        return self
+
+    def _restore(self) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+        self._previous.clear()
+        self.installed = False
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()

@@ -26,6 +26,19 @@ a task that exhausts its attempts is recorded as a
 ``skipped``, and every independent subgraph still runs to completion —
 because the cache is content-addressed, re-running the same graph then
 recomputes *only* the failed/skipped tasks.
+
+Durability (see :mod:`repro.engine.durability`): ``run`` optionally
+journals every task outcome to an append-only fsync'd
+:class:`~repro.engine.durability.RunJournal` (crash-safe resume), pins
+the graph's artefact keys against cache eviction for the duration of
+the run, honours a
+:class:`~repro.engine.durability.CancellationToken` at task boundaries
+(graceful shutdown: stop scheduling, drain in-flight work within the
+grace window, raise :class:`~repro.errors.RunInterrupted` with the
+partial manifest), and — when several invocations share one cache
+directory — routes cache misses through the cache's cross-process
+single-flight protocol so the same fingerprint is not computed N
+times.
 """
 
 from __future__ import annotations
@@ -40,13 +53,20 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import ArtifactCache
+from repro.engine.durability import CancellationToken, RunJournal
 from repro.engine.fingerprint import combine_fingerprints, fingerprint
-from repro.engine.manifest import RunManifest, TaskFailure, TaskRecord
+from repro.engine.manifest import (
+    RunManifest,
+    STATUS_INTERRUPTED,
+    TaskFailure,
+    TaskRecord,
+)
 from repro.engine.stages import get_stage
 from repro.errors import (
     EngineRunError,
     InjectedFault,
     ReproError,
+    RunInterrupted,
     TaskTimeoutError,
     WorkerCrashError,
 )
@@ -250,6 +270,8 @@ class Engine:
         self.retry_policy = resolve_retry_policy(retry_policy)
         self.on_error = on_error
         self.last_manifest: Optional[RunManifest] = None
+        self._journal: Optional[RunJournal] = None
+        self._cancellation: Optional[CancellationToken] = None
 
     def _tracer(self):
         """The tracer this engine's runs record into."""
@@ -300,13 +322,24 @@ class Engine:
     # execution
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[Task],
-            on_error: Optional[str] = None) -> EngineRun:
+            on_error: Optional[str] = None, *,
+            journal: Optional[RunJournal] = None,
+            cancellation: Optional[CancellationToken] = None) -> EngineRun:
         """Materialise every task's artefact, cheapest way available.
 
         ``on_error`` overrides the engine default for this run (see the
         constructor).  With ``"continue"``, inspect the returned run's
         :attr:`EngineRun.failed` / :attr:`EngineRun.skipped` /
         :attr:`EngineRun.error` for what (if anything) degraded.
+
+        ``journal`` makes the run durable: every task outcome is
+        appended (fsync'd) as it happens, so a killed process can be
+        resumed from the journal plus the content-addressed cache.
+        ``cancellation`` is polled at task boundaries; once set the
+        engine stops scheduling, drains in-flight tasks within the
+        token's grace window and raises
+        :class:`~repro.errors.RunInterrupted` carrying the partial
+        manifest (``status == "interrupted"``).
         """
         if on_error is None:
             on_error = self.on_error
@@ -317,7 +350,9 @@ class Engine:
         with activate(tracer):
             with tracer.span("engine.run", tasks=len(tasks),
                              max_workers=self.max_workers) as span:
-                result = self._run_traced(tasks, on_error)
+                result = self._run_traced(tasks, on_error,
+                                          journal=journal,
+                                          cancellation=cancellation)
                 if tracer.enabled:
                     summary = result.manifest.summary()
                     span.set(cache_hits=summary["cache_hits"],
@@ -335,13 +370,19 @@ class Engine:
             tracer.export_all()
         return result
 
-    def _run_traced(self, tasks: Sequence[Task],
-                    on_error: str) -> EngineRun:
+    def _run_traced(self, tasks: Sequence[Task], on_error: str,
+                    journal: Optional[RunJournal] = None,
+                    cancellation: Optional[CancellationToken] = None,
+                    ) -> EngineRun:
         run_start = time.perf_counter()
         order = self._topological_order(tasks)
         keys = self.task_keys(order)
         result = EngineRun(manifest=RunManifest(max_workers=self.max_workers))
         self.last_manifest = result.manifest
+        self._journal = journal
+        self._cancellation = cancellation
+        pinned = set(keys.values())
+        self.cache.pin(pinned)
 
         try:
             pending: List[Task] = []
@@ -349,14 +390,52 @@ class Engine:
                 if not self._try_cache(task, keys[task.id], result):
                     pending.append(task)
 
+            self._check_cancelled(result)
             if pending:
                 if self.max_workers == 1 or len(pending) == 1:
                     self._run_serial(pending, keys, result, on_error)
                 else:
                     self._run_parallel(pending, keys, result, on_error)
         finally:
+            self.cache.unpin(pinned)
+            self._journal = None
+            self._cancellation = None
             result.manifest.total_wall_time = time.perf_counter() - run_start
         return result
+
+    # ------------------------------------------------------------------
+    # durability hooks
+    # ------------------------------------------------------------------
+    def _journal_task(self, record: Dict[str, Any]) -> None:
+        journal = getattr(self, "_journal", None)
+        if journal is not None:
+            journal.append(record)
+
+    def _cancelled(self) -> bool:
+        cancellation = getattr(self, "_cancellation", None)
+        return cancellation is not None and cancellation.is_set()
+
+    def _check_cancelled(self, result: EngineRun) -> None:
+        """Raise :class:`RunInterrupted` when the token is set."""
+        if not self._cancelled():
+            return
+        self._interrupt(result)
+
+    def _interrupt(self, result: EngineRun) -> None:
+        cancellation = self._cancellation
+        result.manifest.status = STATUS_INTERRUPTED
+        reason = cancellation.reason if cancellation else "cancelled"
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("engine.run.interrupted").inc()
+            tracer.event("engine.run.interrupted", reason=reason,
+                         done=len(result.artifacts))
+        raise RunInterrupted(
+            f"run interrupted by {reason} after "
+            f"{len(result.artifacts)} task(s); resume recomputes only "
+            f"what the journal and cache did not preserve",
+            manifest=result.manifest,
+            run_id=result.manifest.run_id)
 
     # ------------------------------------------------------------------
     # bookkeeping shared by the serial and parallel paths
@@ -383,6 +462,14 @@ class Engine:
             wall_time=wall, worker=worker, attempts=attempts)
         result.manifest.add(record)
         self._observe_record(record, **extra)
+        self._journal_task({"type": "task", "id": task.id, "key": key,
+                            "stage": task.stage, "status": "done",
+                            "cache": "miss"})
+        # Chaos hook: die at this task boundary — the artefact is
+        # published and journalled, so a resume trusts it and loses at
+        # most the tasks that were in flight.
+        if draw_fault("proc_kill", task.stage) is not None:
+            kill_current_process()  # pragma: no cover - kills process
 
     def _record_failure(self, task: Task, key: str, exc: BaseException,
                         attempts: int, result: EngineRun) -> TaskFailure:
@@ -397,6 +484,9 @@ class Engine:
             tracer.event("engine.task.failed", task=task.id,
                          stage=task.stage, error=type(exc).__name__,
                          message=str(exc), attempts=attempts)
+        self._journal_task({"type": "task", "id": task.id, "key": key,
+                            "stage": task.stage, "status": "failed",
+                            "error": type(exc).__name__})
         return failure
 
     def _record_skip(self, task: Task, key: str, upstream: str,
@@ -410,6 +500,9 @@ class Engine:
             tracer.counter("engine.task.skipped").inc()
             tracer.event("engine.task.skipped", task=task.id,
                          stage=task.stage, upstream=upstream)
+        self._journal_task({"type": "task", "id": task.id, "key": key,
+                            "stage": task.stage, "status": "skipped",
+                            "upstream": upstream})
         return failure
 
     @staticmethod
@@ -438,6 +531,9 @@ class Engine:
             wall_time=time.perf_counter() - start, worker="cache")
         result.manifest.add(record)
         self._observe_record(record)
+        self._journal_task({"type": "task", "id": task.id, "key": key,
+                            "stage": task.stage, "status": "done",
+                            "cache": layer})
         return True
 
     # ------------------------------------------------------------------
@@ -449,6 +545,7 @@ class Engine:
         policy = self.retry_policy
         unresolved: Dict[str, TaskFailure] = {}
         for task in pending:
+            self._check_cancelled(result)
             # an earlier same-key task may have materialised it already
             if self._try_cache(task, keys[task.id], result):
                 continue
@@ -458,36 +555,56 @@ class Engine:
                     task, keys[task.id], bad_dep, result)
                 continue
             stage = get_stage(task.stage)
+            # Cross-process single flight: if another invocation is
+            # computing this exact fingerprint, wait for its publish
+            # instead of duplicating the work (bounded by the lock
+            # timeout — then we compute anyway).
+            flight = None
+            if stage.persistent:
+                flight = self.cache.begin_flight(keys[task.id])
+                if flight is None:
+                    outcome = self.cache.flight_wait(keys[task.id],
+                                                     task.stage)
+                    if (outcome == "ready"
+                            and self._try_cache(task, keys[task.id],
+                                                result)):
+                        continue
+                    flight = self.cache.begin_flight(keys[task.id])
             deps = self._dep_artifacts(task, result)
             attempt = 0
-            while True:
-                attempt += 1
-                start = time.perf_counter()
-                try:
-                    rule = draw_fault("stage_exc", task.stage)
-                    with tracer.span("engine.compute", task=task.id,
-                                     stage=task.stage):
-                        if rule is not None:
-                            raise InjectedFault(
-                                rule.message
-                                or f"injected stage_exc at {task.stage}")
-                        artifact = stage.compute(task.payload, deps)
-                except Exception as exc:
-                    if attempt < policy.attempts:
-                        delay = policy.delay(attempt)
-                        self._note_retry(task, attempt, exc, delay)
-                        if delay > 0:
-                            time.sleep(delay)
-                        continue
-                    unresolved[task.id] = self._record_failure(
-                        task, keys[task.id], exc, attempt, result)
-                    if on_error == "raise":
-                        raise
+            try:
+                while True:
+                    attempt += 1
+                    start = time.perf_counter()
+                    try:
+                        rule = draw_fault("stage_exc", task.stage)
+                        with tracer.span("engine.compute", task=task.id,
+                                         stage=task.stage):
+                            if rule is not None:
+                                raise InjectedFault(
+                                    rule.message
+                                    or f"injected stage_exc at "
+                                       f"{task.stage}")
+                            artifact = stage.compute(task.payload, deps)
+                    except Exception as exc:
+                        if attempt < policy.attempts:
+                            delay = policy.delay(attempt)
+                            self._note_retry(task, attempt, exc, delay)
+                            if delay > 0:
+                                time.sleep(delay)
+                            continue
+                        unresolved[task.id] = self._record_failure(
+                            task, keys[task.id], exc, attempt, result)
+                        if on_error == "raise":
+                            raise
+                        break
+                    self._record_computed(task, keys[task.id], artifact,
+                                          "main",
+                                          time.perf_counter() - start,
+                                          result, attempts=attempt)
                     break
-                self._record_computed(task, keys[task.id], artifact, "main",
-                                      time.perf_counter() - start, result,
-                                      attempts=attempt)
-                break
+            finally:
+                self.cache.end_flight(flight)
 
     # ------------------------------------------------------------------
     # parallel execution
@@ -514,8 +631,18 @@ class Engine:
         unresolved: Dict[str, TaskFailure] = {}
         lost_submits: List[Task] = []
         pool_broken = False
+        #: Cross-process single-flight claims held for in-flight keys.
+        flights: Dict[str, Any] = {}
+        #: Tasks parked behind another *process's* flight, with the
+        #: stampede-fallback deadline after which we compute anyway.
+        flight_blocked: Dict[str, float] = {}
 
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+        def release_flight(key: str) -> None:
+            flight = flights.pop(key, None)
+            if flight is not None:
+                self.cache.end_flight(flight)
 
         def fail_task(task: Task, exc: BaseException,
                       n_attempts: int) -> BaseException:
@@ -530,8 +657,10 @@ class Engine:
             unresolved[task.id] = self._record_failure(
                 task, key, exc, n_attempts, result)
             inflight_keys.discard(key)
+            release_flight(key)
             for dup_id in [t for t in waiting if keys[t] == key]:
                 dup = waiting.pop(dup_id)
+                flight_blocked.pop(dup_id, None)
                 unresolved[dup_id] = self._record_failure(
                     dup, key, exc, 0, result)
             return exc
@@ -585,12 +714,14 @@ class Engine:
                     key = keys[task_id]
                     if self._try_cache(task, key, result):
                         del waiting[task_id]
+                        flight_blocked.pop(task_id, None)
                         progress = True
                         continue
                     bad_dep = next((d for d in task.deps
                                     if d in unresolved), None)
                     if bad_dep is not None:
                         del waiting[task_id]
+                        flight_blocked.pop(task_id, None)
                         unresolved[task_id] = self._record_skip(
                             task, key, bad_dep, result)
                         progress = True
@@ -603,6 +734,22 @@ class Engine:
                         # here (from cache) on success, or through
                         # fail_task on failure — never parked forever
                         continue
+                    if (get_stage(task.stage).persistent
+                            and key not in flights):
+                        flight = self.cache.begin_flight(key)
+                        if flight is None:
+                            # Another *process* is computing this key:
+                            # stay parked (each round re-checks the
+                            # cache above) until its publish lands or
+                            # the stampede-fallback deadline passes.
+                            deadline = flight_blocked.setdefault(
+                                task_id, time.monotonic()
+                                + self.cache.lock_timeout)
+                            if time.monotonic() < deadline:
+                                continue
+                        else:
+                            flights[key] = flight
+                    flight_blocked.pop(task_id, None)
                     del waiting[task_id]
                     inflight_keys.add(key)
                     attempts[task_id] = 1
@@ -669,6 +816,7 @@ class Engine:
         def record_success(task: Task, payload: Tuple) -> None:
             artifact, worker, wall, observed = payload
             inflight_keys.discard(keys[task.id])
+            finish_flight = keys[task.id]
             extra = {}
             if observing:
                 # Queue latency: time the finished task spent waiting
@@ -685,10 +833,46 @@ class Engine:
                                   wall, result,
                                   attempts=attempts.get(task.id, 1),
                                   **extra)
+            # The artefact is published: let waiting peers read it.
+            release_flight(finish_flight)
+
+        def drain_and_interrupt() -> None:
+            """Graceful shutdown: drain in-flight work, then stop.
+
+            No new submissions happen after this point; pending
+            backoff retries are dropped; in-flight futures get the
+            grace window to land (their results are recorded and
+            journalled), then the pool is killed.
+            """
+            deferred.clear()
+            grace = (self._cancellation.grace
+                     if self._cancellation is not None else 0.0)
+            deadline = time.monotonic() + grace
+            while futures and time.monotonic() < deadline:
+                done, _ = wait(futures,
+                               timeout=max(0.0, min(
+                                   0.1, deadline - time.monotonic())),
+                               return_when=FIRST_COMPLETED)
+                for future in sorted(done, key=lambda f: futures[f].id):
+                    task = futures.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        payload = future.result()
+                    except Exception:
+                        if observing:
+                            submit_times.pop(task.id, None)
+                        continue
+                    record_success(task, payload)
+            if futures:
+                kill_pool_processes()
+            self._interrupt(result)
 
         try:
             submit_ready()
-            while (futures or deferred or lost_submits) and not raised:
+            while ((futures or deferred or lost_submits or flight_blocked)
+                   and not raised):
+                if self._cancelled():
+                    drain_and_interrupt()
                 if pool_broken:
                     pool_broken = False
                     lost = [(task, False) for task in lost_submits]
@@ -715,12 +899,20 @@ class Engine:
                     submit_ready()
                     continue
                 if not futures:
-                    if not deferred:
+                    if not deferred and not flight_blocked:
                         break
                     now = time.monotonic()
-                    earliest = min(ready for ready, _ in deferred)
-                    if earliest > now:
-                        time.sleep(earliest - now)
+                    sleep_for = 0.0
+                    if deferred:
+                        earliest = min(ready for ready, _ in deferred)
+                        sleep_for = max(sleep_for, earliest - now)
+                    if flight_blocked:
+                        # Poll: the other process's publish lands in the
+                        # cache, not in our futures, so wake regularly.
+                        sleep_for = min(sleep_for, 0.05) if sleep_for \
+                            else 0.05
+                    if sleep_for > 0:
+                        time.sleep(sleep_for)
                     submit_ready()
                     continue
                 timeout = None
@@ -730,6 +922,8 @@ class Engine:
                 if deferred:
                     wake = max(0.0, min(r for r, _ in deferred) - now)
                     timeout = wake if timeout is None else min(timeout, wake)
+                if flight_blocked:
+                    timeout = 0.05 if timeout is None else min(timeout, 0.05)
                 done, _ = wait(futures, timeout=timeout,
                                return_when=FIRST_COMPLETED)
                 for future in sorted(done, key=lambda f: futures[f].id):
@@ -790,6 +984,8 @@ class Engine:
                     f"executor stalled with {len(waiting)} unresolved "
                     f"task(s): {sorted(waiting)}")
         finally:
+            for key in list(flights):
+                release_flight(key)
             pool.shutdown(wait=False, cancel_futures=True)
 
 

@@ -13,8 +13,14 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
+
+#: Run statuses a manifest can carry.
+STATUS_COMPLETED = "completed"
+STATUS_INTERRUPTED = "interrupted"
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,16 @@ class RunManifest:
     failures: List[TaskFailure] = field(default_factory=list)
     total_wall_time: float = 0.0
     pool_rebuilds: int = 0
+    #: ``completed`` normally; ``interrupted`` when a SIGINT/SIGTERM
+    #: stopped the run early (the journal + cache make it resumable).
+    status: str = STATUS_COMPLETED
+    #: Durable-run identifier ("" for non-journalled runs).
+    run_id: str = ""
+
+    @property
+    def interrupted(self) -> bool:
+        """True when the run was stopped before completing."""
+        return self.status == STATUS_INTERRUPTED
 
     def add(self, record: TaskRecord) -> None:
         self.records.append(record)
@@ -139,6 +155,8 @@ class RunManifest:
             "max_workers": self.max_workers,
             "workers_used": self.workers_used(),
             "total_wall_time": self.total_wall_time,
+            "status": self.status,
+            "run_id": self.run_id,
             "stages": per_stage,
         }
 
@@ -151,6 +169,8 @@ class RunManifest:
             "max_workers": self.max_workers,
             "total_wall_time": self.total_wall_time,
             "pool_rebuilds": self.pool_rebuilds,
+            "status": self.status,
+            "run_id": self.run_id,
             "records": [asdict(r) for r in self.records],
             "failures": [asdict(f) for f in self.failures],
         }
@@ -160,17 +180,42 @@ class RunManifest:
         """Inverse of :meth:`to_dict`."""
         manifest = cls(max_workers=data["max_workers"],
                        total_wall_time=data.get("total_wall_time", 0.0),
-                       pool_rebuilds=data.get("pool_rebuilds", 0))
+                       pool_rebuilds=data.get("pool_rebuilds", 0),
+                       status=data.get("status", STATUS_COMPLETED),
+                       run_id=data.get("run_id", ""))
         for record in data.get("records", []):
             manifest.add(TaskRecord(**record))
         for failure in data.get("failures", []):
             manifest.add_failure(TaskFailure(**failure))
         return manifest
 
+    @classmethod
+    def load(cls, path: os.PathLike) -> "RunManifest":
+        """Read a manifest previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
     def save(self, path: os.PathLike) -> None:
-        """Write the manifest as JSON."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        """Write the manifest as JSON, atomically.
+
+        Published via temp file + ``os.replace`` (same protocol as the
+        artifact cache), so a crash mid-save can never leave a
+        truncated or corrupt manifest behind — readers see either the
+        old complete file or the new complete file.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def render(self) -> str:
         """Human-readable per-stage summary table."""
@@ -187,6 +232,8 @@ class RunManifest:
             headline += f", {summary['retries']} retries"
         if summary["pool_rebuilds"]:
             headline += f", {summary['pool_rebuilds']} pool rebuilds"
+        if self.status != STATUS_COMPLETED:
+            headline += f", status={self.status}"
         lines = [headline]
         for stage, row in summary["stages"].items():
             lines.append(

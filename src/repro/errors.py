@@ -34,6 +34,32 @@ class TaskTimeoutError(ReproError):
     """A task exceeded its wall-time budget (``REPRO_TASK_TIMEOUT``)."""
 
 
+class CacheLockTimeout(ReproError):
+    """An advisory cache lock could not be acquired within its timeout.
+
+    Raised by :class:`repro.engine.locks.FileLock` when another process
+    holds the lock past ``REPRO_LOCK_TIMEOUT`` seconds — the caller can
+    degrade (compute without the lock, skip maintenance) instead of
+    blocking a run forever on a wedged peer.
+    """
+
+
+class RunInterrupted(ReproError):
+    """A run was stopped by SIGINT/SIGTERM before completing.
+
+    Carries the partial :class:`~repro.engine.manifest.RunManifest`
+    (``status == "interrupted"``) so the caller can flush it alongside
+    the run journal; ``python -m repro.flows resume <run_id>`` picks the
+    run back up from exactly what the journal + content-addressed cache
+    preserved.
+    """
+
+    def __init__(self, message: str, manifest=None, run_id: str = ""):
+        super().__init__(message)
+        self.manifest = manifest
+        self.run_id = run_id
+
+
 class WorkerCrashError(ReproError):
     """A pool worker died (SIGKILL, OOM...) while computing a task."""
 

@@ -1,0 +1,7 @@
+"""``python -m repro.flows`` entry point (see :mod:`repro.flows.cli`)."""
+
+import sys
+
+from repro.flows.cli import main
+
+sys.exit(main())

@@ -124,6 +124,44 @@ def run_extractions(*args,
     return ExtractionReport([run[task.id] for task, _ in pairs])
 
 
+def build_flow_graph(cells: List[str],
+                     cell_variants: List[DeviceVariant],
+                     channel_variants: List[ChannelCount],
+                     process: Optional[ProcessParameters] = None,
+                     parasitics: Optional[Parasitics] = None,
+                     dt: float = DEFAULT_DT):
+    """Assemble the full-pipeline task graph.
+
+    Returns ``(graph, extraction_pairs, ppa_pairs)`` — the merged task
+    list plus the (result task, support tasks) pairs needed to pick the
+    report artefacts back out of a run.  Shared by :func:`run_full_flow`
+    and the durable flow runner so a resumed run rebuilds the *same*
+    graph (hence the same content-addressed fingerprints) from the
+    journalled parameters.
+    """
+    extraction_pairs = [extraction_tasks(variant, polarity, process)
+                        for variant in channel_variants
+                        for polarity in (Polarity.NMOS, Polarity.PMOS)]
+    ppa_pairs = [cell_ppa_tasks(cell, variant, parasitics, dt, process)
+                 for cell in cells for variant in cell_variants]
+    graph = merge_tasks(*[support for _, support in extraction_pairs],
+                        *[support for _, support in ppa_pairs])
+    return graph, extraction_pairs, ppa_pairs
+
+
+def assemble_flow_result(run, extraction_pairs, ppa_pairs) -> FullFlowResult:
+    """Pick the report artefacts out of a completed engine run."""
+    extraction = ExtractionReport(
+        [run[task.id] for task, _ in extraction_pairs])
+    results = [run[task.id] for task, _ in ppa_pairs]
+    return FullFlowResult(
+        extraction=extraction,
+        ppa=PpaComparison.from_results(results),
+        areas=build_area_report(),
+        manifest=run.manifest,
+    )
+
+
 def run_full_flow(*args,
                   cells: Optional[List[str]] = None,
                   variants: Optional[List[DeviceVariant]] = None,
@@ -133,6 +171,8 @@ def run_full_flow(*args,
                   dt: float = DEFAULT_DT,
                   engine: Optional[Engine] = None,
                   observe=None,
+                  journal=None,
+                  cancellation=None,
                   cell_names: Optional[List[str]] = None,
                   max_workers: Optional[int] = None) -> FullFlowResult:
     """Run the whole pipeline as one engine task graph.
@@ -142,6 +182,11 @@ def run_full_flow(*args,
     bit-identical across engine widths, only the wall time and the
     manifest's worker ids differ.  ``observe`` scopes a tracer to this
     call (see :mod:`repro.observe`).
+
+    ``journal`` / ``cancellation`` make the run durable and gracefully
+    interruptible (see :mod:`repro.engine.durability`); most callers
+    should use :func:`repro.flows.run_durable_flow`, which manages
+    both plus the run directory.
 
     .. deprecated:: 1.2
        Positional arguments, ``cell_names=`` and ``max_workers=`` warn;
@@ -164,23 +209,17 @@ def run_full_flow(*args,
     dt = kwargs["dt"] if kwargs["dt"] is not None else DEFAULT_DT
     engine = _resolve_engine(kwargs["engine"], kwargs["max_workers"])
 
-    extraction_pairs = [extraction_tasks(variant, polarity, process)
-                        for variant in channel_variants
-                        for polarity in (Polarity.NMOS, Polarity.PMOS)]
-    ppa_pairs = [cell_ppa_tasks(cell, variant, kwargs["parasitics"], dt,
-                                process)
-                 for cell in cells for variant in cell_variants]
-    graph = merge_tasks(*[support for _, support in extraction_pairs],
-                        *[support for _, support in ppa_pairs])
+    graph, extraction_pairs, ppa_pairs = build_flow_graph(
+        cells, cell_variants, channel_variants, process,
+        kwargs["parasitics"], dt)
 
+    # durability keywords are only forwarded when set, so plain calls
+    # keep the plain Engine.run(tasks) contract
+    run_kwargs = {}
+    if journal is not None:
+        run_kwargs["journal"] = journal
+    if cancellation is not None:
+        run_kwargs["cancellation"] = cancellation
     with maybe_activate(observe):
-        run = engine.run(graph)
-    extraction = ExtractionReport(
-        [run[task.id] for task, _ in extraction_pairs])
-    results = [run[task.id] for task, _ in ppa_pairs]
-    return FullFlowResult(
-        extraction=extraction,
-        ppa=PpaComparison.from_results(results),
-        areas=build_area_report(),
-        manifest=run.manifest,
-    )
+        run = engine.run(graph, **run_kwargs)
+    return assemble_flow_result(run, extraction_pairs, ppa_pairs)

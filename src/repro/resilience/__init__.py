@@ -10,12 +10,28 @@ The failure-domain layer of the pipeline.  Three pieces:
 * :mod:`repro.resilience.faults` — :class:`FaultInjector`, the
   deterministic seeded injector (``REPRO_FAULTS``) that drives every
   recovery path under test: stage exceptions, SIGKILLed pool workers,
-  forced solver non-convergence.
+  forced solver non-convergence, driver ``kill -9`` at task
+  boundaries and mid-cache-write;
+* :mod:`repro.resilience.chaos` — the subprocess chaos harness that
+  turns those faults into whole-process experiments (kill/resume
+  cycles, SIGTERM drains, K concurrent invocations on one cache).
 
 See the "Fault tolerance" sections of README.md / DESIGN.md for the
 end-to-end semantics (retry → continue → resume).
 """
 
+from repro.resilience.chaos import (
+    ChaosReport,
+    FlowOutcome,
+    flow_argv,
+    finish,
+    repro_env,
+    run_concurrent_flows,
+    run_flow,
+    run_until_complete,
+    spawn_flow,
+    terminate_gracefully,
+)
 from repro.resilience.faults import (
     FAULTS_ENV,
     FaultInjector,
@@ -40,8 +56,10 @@ from repro.resilience.retry import (
 )
 
 __all__ = [
+    "ChaosReport",
     "ContinuationResult",
     "FAULTS_ENV",
+    "FlowOutcome",
     "FaultInjector",
     "FaultRule",
     "MAX_SPLITS",
@@ -52,8 +70,16 @@ __all__ = [
     "clear_faults",
     "continue_solve",
     "draw_fault",
+    "finish",
+    "flow_argv",
     "install",
     "kill_current_process",
     "maybe_inject",
+    "repro_env",
     "resolve_retry_policy",
+    "run_concurrent_flows",
+    "run_flow",
+    "run_until_complete",
+    "spawn_flow",
+    "terminate_gracefully",
 ]

@@ -32,10 +32,21 @@ Kinds
     solver's *primary* path fails and its rescue ladder engages; with
     ``fatal=1`` the whole solve raises, exercising the caller's
     recovery (e.g. transient timestep rejection).
+``proc_kill``
+    SIGKILL the *driver* process itself, drawn at a task boundary just
+    after the completed task was journalled — the chaos-harness
+    mechanism for "kill -9 at a random task, then resume"
+    (:mod:`repro.resilience.chaos`).
+``write_kill``
+    SIGKILL the process *mid disk-cache write* — between the temp-file
+    write and the atomic rename — exercising the crash window of the
+    cache publish protocol.
 
 Options
 -------
 ``first=k``   fire on the first *k* draws at the site, then never again.
+``after=k``   fire exactly once, on draw number *k* (1-based) — how the
+              chaos harness places one kill at a chosen task boundary.
 ``n=k``       fire at most *k* times total (combines with ``p``).
 ``p=x``       per-draw probability (seeded — deterministic for a seed).
 ``fatal=1``   see ``convergence`` above.
@@ -64,7 +75,8 @@ from repro.errors import InjectedFault, ReproError
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: Recognised fault kinds.
-KINDS = ("stage_exc", "worker_kill", "convergence")
+KINDS = ("stage_exc", "worker_kill", "convergence", "proc_kill",
+         "write_kill")
 
 
 @dataclass
@@ -76,6 +88,7 @@ class FaultRule:
     p: float = 1.0
     n: Optional[int] = None
     first: Optional[int] = None
+    after: Optional[int] = None
     fatal: bool = False
     message: str = ""
     draws: int = 0
@@ -87,7 +100,9 @@ class FaultRule:
     def decide(self, rng: random.Random) -> bool:
         """Advance this rule's state by one draw; True = fire."""
         self.draws += 1
-        if self.first is not None:
+        if self.after is not None:
+            fire = self.draws == self.after
+        elif self.first is not None:
             fire = self.draws <= self.first
         elif self.n is not None and self.fires >= self.n:
             fire = False
@@ -125,6 +140,8 @@ def _parse_segment(segment: str) -> FaultRule:
                     rule.n = int(value)
                 elif key == "first":
                     rule.first = int(value)
+                elif key == "after":
+                    rule.after = int(value)
                 elif key == "fatal":
                     rule.fatal = value not in ("0", "false", "no", "")
                 elif key == "message":

@@ -51,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="engine width for pipeline measurements (default: auto)")
     parser.add_argument(
+        "--parity-modes", metavar="MODES", default=None,
+        help="comma-separated parity matrix modes to run (only "
+             "meaningful with a suite that includes parity; e.g. "
+             "'interrupted-resumed,concurrent-shared-cache' for the "
+             "chaos scenarios)")
+    parser.add_argument(
         "--trace", metavar="DIR", default=None,
         help="record an observe trace of the run into DIR")
     parser.add_argument(
@@ -75,8 +81,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.trace:
         from repro.observe import Tracer
         observe = Tracer(out_dir=options.trace)
+    parity_modes = None
+    if options.parity_modes:
+        parity_modes = [m.strip() for m in options.parity_modes.split(",")
+                        if m.strip()]
     report = run_suite(options.suite, store=store, engine=engine,
-                       observe=observe)
+                       observe=observe, parity_modes=parity_modes)
     if options.report:
         report.write(options.report)
     if options.quiet:

@@ -64,6 +64,13 @@ class ParityCell:
         rescue-path deviation).
     tolerance:
         Tolerance class for ``comparison == "tolerance"``.
+    chaos:
+        Durability scenario run through *real subprocesses* (see
+        :mod:`repro.resilience.chaos`): ``"kill-resume"`` SIGKILLs a
+        journalled CLI run at a task boundary and resumes it;
+        ``"concurrent"`` runs two invocations against one shared cache
+        (and additionally requires zero quarantined entries).
+        ``None`` = plain in-process mode.
     """
 
     name: str
@@ -75,6 +82,7 @@ class ParityCell:
     retries: int = 0
     comparison: str = "bitwise"
     tolerance: str = "calibrated"
+    chaos: Optional[str] = None
 
 
 #: The matrix: {serial, parallel} x {traced, untraced} x {cold, warm}
@@ -113,6 +121,18 @@ PARITY_MATRIX: Tuple[ParityCell, ...] = (
                     "solver rescue ladder (tolerance-equal)",
         faults="convergence:transient.newton:first=2",
         comparison="tolerance"),
+    ParityCell(
+        name="interrupted-resumed",
+        description="CLI run SIGKILLed at a task boundary, then "
+                    "resumed from its journal (must stay "
+                    "bit-identical)",
+        faults="proc_kill:*:after=3", chaos="kill-resume"),
+    ParityCell(
+        name="concurrent-shared-cache",
+        description="two concurrent CLI invocations sharing one cache "
+                    "directory (bit-identical, zero quarantined "
+                    "entries)",
+        chaos="concurrent"),
 )
 
 #: Modes of the fast suite (one representative per mechanism).
@@ -172,11 +192,63 @@ def _compare(cell: ParityCell, baseline: Dict[str, float],
                   f"{worst_key or 'n/a'})")
 
 
+def _run_chaos_mode(cell: ParityCell, cache_dir: Path,
+                    flow_kwargs: Dict[str, Any]):
+    """Execute one durability scenario through real subprocesses."""
+    from repro.engine.cache import ArtifactCache
+    from repro.errors import ReproError
+    from repro.flows.durable import resume_run
+    from repro.flows.full_flow import run_full_flow
+    from repro.resilience import chaos
+
+    argv_kwargs = dict(
+        cells=flow_kwargs["cells"],
+        variants=[v.value for v in flow_kwargs["variants"]],
+        extraction_variants=[v.name
+                             for v in flow_kwargs["extraction_variants"]])
+    if cell.chaos == "kill-resume":
+        run_id = f"parity-{cell.name}"
+        env = chaos.repro_env(cache_dir, faults=cell.faults or "")
+        outcome = chaos.run_flow(
+            chaos.flow_argv(run_id=run_id, workers=1, **argv_kwargs), env)
+        if not outcome.killed:
+            raise ReproError(
+                f"chaos run was not killed (exit {outcome.returncode}): "
+                f"{outcome.stderr[-300:]}")
+        # Resume in-process (no faults) — journalled graph, same keys.
+        return resume_run(
+            run_id,
+            engine=Engine(max_workers=1, cache_dir=cache_dir)).result
+    if cell.chaos == "concurrent":
+        env = chaos.repro_env(cache_dir)
+        argvs = [chaos.flow_argv(run_id=f"parity-conc-{i}", workers=1,
+                                 **argv_kwargs) for i in (1, 2)]
+        outcomes = chaos.run_concurrent_flows(argvs, env)
+        bad = [o for o in outcomes if o.returncode != 0]
+        if bad:
+            raise ReproError(
+                f"{len(bad)} concurrent invocation(s) failed "
+                f"(exit {bad[0].returncode}): {bad[0].stderr[-300:]}")
+        quarantined = ArtifactCache(cache_dir=cache_dir).quarantined()
+        if quarantined:
+            raise ReproError(
+                f"shared cache has {len(quarantined)} quarantined "
+                f"entries after concurrent runs: {quarantined[:3]}")
+        # Warm in-process replay: every artefact must come from the
+        # cache the two invocations co-populated.
+        return run_full_flow(
+            engine=Engine(max_workers=1, cache_dir=cache_dir),
+            **flow_kwargs)
+    raise ReproError(f"unknown chaos scenario {cell.chaos!r}")
+
+
 def _run_mode(cell: ParityCell, cache_dir: Path,
               flow_kwargs: Dict[str, Any]):
     """Execute the reduced flow under one mode's engine/fault setup."""
     from repro.flows.full_flow import run_full_flow
     from repro.observe import Tracer
+    if cell.chaos is not None:
+        return _run_chaos_mode(cell, cache_dir, flow_kwargs)
     engine = Engine(
         max_workers=cell.max_workers, cache_dir=cache_dir,
         retry_policy=RetryPolicy(retries=cell.retries, backoff=0.0))

@@ -140,14 +140,23 @@ def gate_checks(engine: Optional[Engine] = None,
     return results
 
 
-def parity_checks(fast: bool = False) -> List[CheckResult]:
-    """The cross-mode parity matrix."""
+def parity_checks(fast: bool = False,
+                  modes: Optional[List[str]] = None) -> List[CheckResult]:
+    """The cross-mode parity matrix.
+
+    ``modes`` selects an explicit subset (overrides ``fast``) — how the
+    CI chaos job runs just the durability scenarios
+    (``interrupted-resumed``, ``concurrent-shared-cache``).
+    """
+    if modes is not None:
+        return run_parity_matrix(modes=list(modes))
     return run_parity_matrix(modes=FAST_MODES if fast else None)
 
 
 def run_suite(suite: str, store: Optional[GoldenStore] = None,
               engine: Optional[Engine] = None,
-              observe=None) -> VerifyReport:
+              observe=None,
+              parity_modes: Optional[List[str]] = None) -> VerifyReport:
     """Run one named suite into a :class:`VerifyReport`."""
     if suite not in SUITES:
         from repro.errors import ReproError
@@ -166,7 +175,8 @@ def run_suite(suite: str, store: Optional[GoldenStore] = None,
             report.extend(gate_checks(engine=engine,
                                       full=(suite == "all")))
         if suite in ("parity", "fast", "all"):
-            report.extend(parity_checks(fast=(suite == "fast")))
+            report.extend(parity_checks(fast=(suite == "fast"),
+                                        modes=parity_modes))
     if observe is not None and getattr(observe, "metrics", None):
         report.metrics = observe.metrics.snapshot()
     return report

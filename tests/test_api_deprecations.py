@@ -167,4 +167,4 @@ def test_new_keyword_shapes_do_not_warn(monkeypatch, recwarn):
 
 
 def test_version_bumped():
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"

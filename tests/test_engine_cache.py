@@ -172,8 +172,16 @@ def test_stats_counters(tmp_path):
     cache.get("missing", stage)
     cache.put("k1", stage, {"value": 1.0})
     cache.get("k1", stage)
-    assert cache.stats() == {"hits_memory": 1, "hits_disk": 0, "misses": 1,
-                             "corrupt": 0, "write_errors": 0}
+    stats = cache.stats()
+    core = {k: stats[k] for k in ("hits_memory", "hits_disk", "misses",
+                                  "corrupt", "write_errors")}
+    assert core == {"hits_memory": 1, "hits_disk": 0, "misses": 1,
+                    "corrupt": 0, "write_errors": 0}
+    # durability counters all start at zero
+    assert stats["evicted"] == 0
+    assert stats["quarantine_expired"] == 0
+    assert stats["lock_timeouts"] == 0
+    assert stats["flight_timeouts"] == 0
 
 
 def test_cache_dir_resolution(monkeypatch, tmp_path):

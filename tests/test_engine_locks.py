@@ -1,0 +1,90 @@
+"""Advisory file locks: conflicts, timeouts, release semantics."""
+
+import pytest
+
+from repro.engine.locks import (
+    DEFAULT_LOCK_TIMEOUT,
+    FileLock,
+    HAVE_LOCKS,
+    LOCK_TIMEOUT_ENV,
+    resolve_lock_timeout,
+)
+from repro.errors import CacheLockTimeout, ReproError
+
+needs_locks = pytest.mark.skipif(
+    not HAVE_LOCKS, reason="platform has no advisory file locks")
+
+
+def test_resolve_lock_timeout(monkeypatch):
+    monkeypatch.delenv(LOCK_TIMEOUT_ENV, raising=False)
+    assert resolve_lock_timeout() == DEFAULT_LOCK_TIMEOUT
+    assert resolve_lock_timeout(2.0) == 2.0
+    monkeypatch.setenv(LOCK_TIMEOUT_ENV, "0.5")
+    assert resolve_lock_timeout() == 0.5
+    monkeypatch.setenv(LOCK_TIMEOUT_ENV, "abc")
+    with pytest.raises(ReproError):
+        resolve_lock_timeout()
+    monkeypatch.setenv(LOCK_TIMEOUT_ENV, "0")
+    with pytest.raises(ReproError):
+        resolve_lock_timeout()
+
+
+def test_try_acquire_and_release(tmp_path):
+    lock = FileLock(tmp_path / "a.lock")
+    assert not lock.held
+    assert lock.try_acquire()
+    assert lock.held
+    # re-acquiring an already-held lock is a cheap no-op
+    assert lock.try_acquire()
+    lock.release()
+    assert not lock.held
+    lock.release()  # idempotent
+
+
+@needs_locks
+def test_second_holder_is_rejected(tmp_path):
+    first = FileLock(tmp_path / "a.lock")
+    second = FileLock(tmp_path / "a.lock")
+    assert first.try_acquire()
+    assert not second.try_acquire()
+    first.release()
+    assert second.try_acquire()
+    second.release()
+
+
+@needs_locks
+def test_blocking_acquire_times_out(tmp_path):
+    holder = FileLock(tmp_path / "a.lock")
+    assert holder.try_acquire()
+    contender = FileLock(tmp_path / "a.lock", timeout=0.15)
+    with pytest.raises(CacheLockTimeout):
+        contender.acquire()
+    holder.release()
+    contender.acquire()
+    assert contender.held
+    contender.release()
+
+
+@needs_locks
+def test_context_manager(tmp_path):
+    other = FileLock(tmp_path / "a.lock")
+    with FileLock(tmp_path / "a.lock") as lock:
+        assert lock.held
+        assert not other.try_acquire()
+    assert other.try_acquire()
+    other.release()
+
+
+def test_sentinel_file_persists_after_release(tmp_path):
+    # the inode must stay stable: unlink/recreate would open a race
+    # where two processes hold "the same" lock on different inodes
+    lock = FileLock(tmp_path / "a.lock")
+    lock.try_acquire()
+    lock.release()
+    assert (tmp_path / "a.lock").is_file()
+
+
+def test_lock_creates_parent_dirs(tmp_path):
+    lock = FileLock(tmp_path / "deep" / "nested" / "a.lock")
+    assert lock.try_acquire()
+    lock.release()
