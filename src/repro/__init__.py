@@ -37,7 +37,17 @@ scope tracing to the call (``True``, a path, or a
 from repro.cells.netlist_builder import Parasitics
 from repro.cells.variants import DeviceVariant
 from repro.deprecation import absorb_positional, absorb_renamed
-from repro.engine import Engine, RunManifest, TaskFailure, default_engine
+from repro.engine import (
+    Engine,
+    ExecutionBackend,
+    PoolBackend,
+    RunManifest,
+    SerialBackend,
+    TaskFailure,
+    WorkQueueBackend,
+    default_engine,
+    resolve_backend,
+)
 from repro.errors import EngineRunError
 from repro.flows import FullFlowResult, run_extractions, run_full_flow
 from repro.geometry.process import DEFAULT_PROCESS, ProcessParameters
@@ -55,7 +65,7 @@ from repro.ppa.runner import DEFAULT_DT, PpaRunner
 from repro.resilience import FaultInjector, RetryPolicy
 from repro.tcad.device import Polarity, design_for_variant
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ChannelCount",
@@ -64,24 +74,29 @@ __all__ = [
     "DeviceVariant",
     "Engine",
     "EngineRunError",
+    "ExecutionBackend",
     "FaultInjector",
     "FullFlowResult",
     "NULL_TRACER",
     "Parasitics",
     "Polarity",
+    "PoolBackend",
     "PpaComparison",
     "PpaRunner",
     "ProcessParameters",
     "RetryPolicy",
     "RunManifest",
+    "SerialBackend",
     "TaskFailure",
     "Tracer",
+    "WorkQueueBackend",
     "configure",
     "configure_logging",
     "default_engine",
     "design_for_variant",
     "get_tracer",
     "quick_ppa",
+    "resolve_backend",
     "run_extractions",
     "run_full_flow",
     "summary_table",

@@ -11,9 +11,12 @@ tasks it depends on.  The engine
 * caches artefacts in memory and, via each stage's codec, in an on-disk
   JSON store (default ``~/.cache/repro``, overridable with the
   ``REPRO_CACHE_DIR`` environment variable);
-* fans independent tasks out over a :class:`~concurrent.futures.
-  ProcessPoolExecutor` with dependency-aware scheduling
-  (``max_workers=1`` forces deterministic serial execution);
+* fans independent tasks out over a pluggable execution backend with
+  dependency-aware scheduling — deterministic in-process ``serial``
+  order, a persistent warm-worker ``pool`` (shared-memory NumPy
+  transfer), or a multi-process filesystem ``workqueue`` over the
+  shared cache (selected via ``Engine(backend=...)`` or
+  ``REPRO_BACKEND``);
 * records a :class:`RunManifest` of per-task wall time, cache hit/miss
   and worker id for every run;
 * survives crashes and coexists across processes (see
@@ -30,6 +33,16 @@ definitions and task builders, and ``repro.flows.durable`` for the
 journalled flow runner and its ``python -m repro.flows`` CLI.
 """
 
+from repro.engine.backends import (
+    BACKEND_ENV,
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    WorkQueueBackend,
+    backend_for_workers,
+    parse_backend_spec,
+    resolve_backend,
+)
 from repro.engine.cache import ArtifactCache, parse_size, resolve_cache_dir
 from repro.engine.durability import (
     EXIT_FAILURE,
@@ -58,6 +71,7 @@ from repro.engine.executor import (
 )
 from repro.engine.fingerprint import canonicalize, fingerprint
 from repro.engine.locks import FileLock, resolve_lock_timeout
+from repro.engine.scheduler import Scheduler
 from repro.engine.manifest import (
     RunManifest,
     STATUS_COMPLETED,
@@ -75,6 +89,7 @@ from repro.engine.stages import (
 
 __all__ = [
     "ArtifactCache",
+    "BACKEND_ENV",
     "CancellationToken",
     "EXIT_FAILURE",
     "EXIT_INTERRUPTED",
@@ -82,17 +97,23 @@ __all__ = [
     "EXIT_USAGE",
     "Engine",
     "EngineRun",
+    "ExecutionBackend",
     "FileLock",
     "GracefulShutdown",
     "JournalState",
+    "PoolBackend",
     "RunJournal",
     "RunManifest",
     "STATUS_COMPLETED",
     "STATUS_INTERRUPTED",
+    "Scheduler",
+    "SerialBackend",
     "StageDef",
     "Task",
     "TaskFailure",
     "TaskRecord",
+    "WorkQueueBackend",
+    "backend_for_workers",
     "canonicalize",
     "default_engine",
     "fingerprint",
@@ -100,11 +121,13 @@ __all__ = [
     "list_runs",
     "load_run",
     "new_run_id",
+    "parse_backend_spec",
     "parse_size",
     "register_stage",
     "registered_stages",
     "replay_journal",
     "reset_default_engine",
+    "resolve_backend",
     "resolve_cache_dir",
     "resolve_lock_timeout",
     "resolve_shutdown_grace",

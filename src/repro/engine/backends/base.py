@@ -1,0 +1,230 @@
+"""The execution-backend protocol the scheduler drives.
+
+The engine split (1.5): :class:`repro.engine.scheduler.Scheduler` owns
+every *semantic* concern — fingerprinting, cache and single-flight,
+dependency tracking, retries and timeouts, ``on_error`` modes,
+journaling, cancellation — while an :class:`ExecutionBackend` owns
+exactly one *mechanical* concern: given a ready
+:class:`TaskExecution`, produce a :class:`TaskResult`.  The protocol is
+deliberately narrow (``submit`` / ``poll`` / ``shutdown`` plus a few
+capability flags), so a new backend cannot accidentally reimplement —
+or skip — scheduler semantics.
+
+Capability flags tell the scheduler which failure-domain features are
+physically possible on a backend:
+
+``supports_preemption``
+    The backend can kill a running task (:meth:`preempt`), so the
+    scheduler enforces :class:`~repro.resilience.retry.RetryPolicy`
+    timeouts.  In-process backends cannot preempt a compute function.
+``remote_workers``
+    Tasks run in other processes that can die independently
+    (``worker_kill`` faults are drawn, crashes are budgeted and
+    surviving work is unaffected).
+``external_coordination``
+    The backend has its own cross-process coordination (the work
+    queue's lease protocol), so the scheduler skips the cache's
+    single-flight claims.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import InjectedFault
+
+#: Result statuses a backend can report.
+RESULT_DONE = "done"            # artifact computed by this backend
+RESULT_ERROR = "error"          # compute raised (exception attached)
+RESULT_CRASHED = "crashed"      # the worker died; no exception exists
+RESULT_PEER = "peer"            # another process published the artifact
+
+
+@dataclass
+class TaskExecution:
+    """Everything a backend needs to run one ready task once.
+
+    The scheduler resolves dependencies to concrete artefacts before
+    submitting, so a backend never touches the task graph; ``fault``
+    carries a parent-drawn injection directive (``"kill"`` or
+    ``"exc:<message>"`` — see :mod:`repro.resilience.faults`).
+    """
+
+    task_id: str
+    stage: str
+    payload: Any
+    key: str
+    deps: Dict[str, Any]
+    attempt: int = 1
+    observe: bool = False
+    fault: Optional[str] = None
+
+
+@dataclass
+class TaskResult:
+    """One task outcome reported by a backend.
+
+    ``wall_time``/``cpu_time`` cover the compute itself (not queueing);
+    ``started_at`` is a ``time.perf_counter`` timestamp of compute
+    start (monotonic clocks are process-consistent on the platforms the
+    pool runs on).  ``transfer_bytes`` counts serialized payload bytes
+    that crossed a process boundary for this task (0 for in-process
+    backends).
+    """
+
+    task_id: str
+    status: str
+    artifact: Any = None
+    worker: str = ""
+    wall_time: float = 0.0
+    cpu_time: float = 0.0
+    started_at: float = -1.0
+    error: Optional[BaseException] = None
+    error_traceback: str = ""
+    observed: Optional[Dict[str, Any]] = None
+    transfer_bytes: int = 0
+    cache_layer: str = ""
+
+
+@dataclass
+class TransferStats:
+    """Bytes a backend moved across process boundaries."""
+
+    total_bytes: int = 0
+    shm_bytes: int = 0
+    pickle_bytes: int = 0
+
+    def add(self, pickle_bytes: int, shm_bytes: int) -> None:
+        self.pickle_bytes += pickle_bytes
+        self.shm_bytes += shm_bytes
+        self.total_bytes += pickle_bytes + shm_bytes
+
+
+def run_stage_inline(execution: TaskExecution) -> TaskResult:
+    """Execute one task in the calling process (serial / work queue).
+
+    Uses the ambient tracer (spans nest under the engine's run span);
+    honours an ``"exc:"`` fault directive.  Exceptions are captured
+    into the result, never raised — the scheduler owns retry policy.
+    """
+    from repro.engine.stages import get_stage
+    from repro.observe import get_tracer
+
+    tracer = get_tracer()
+    stage = get_stage(execution.stage)
+    started = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        with tracer.span("engine.compute", task=execution.task_id,
+                         stage=execution.stage):
+            fault = execution.fault
+            if fault is not None and fault.startswith("exc:"):
+                raise InjectedFault(fault[4:])
+            artifact = stage.compute(execution.payload, execution.deps)
+    except Exception as exc:
+        return TaskResult(
+            task_id=execution.task_id, status=RESULT_ERROR,
+            worker=str(os.getpid()),
+            wall_time=time.perf_counter() - started,
+            cpu_time=time.process_time() - cpu0,
+            started_at=started, error=exc)
+    return TaskResult(
+        task_id=execution.task_id, status=RESULT_DONE, artifact=artifact,
+        worker=str(os.getpid()),
+        wall_time=time.perf_counter() - started,
+        cpu_time=time.process_time() - cpu0,
+        started_at=started)
+
+
+class ExecutionBackend:
+    """Base class / protocol of every execution backend.
+
+    Lifecycle: the engine calls :meth:`start` once (idempotent) before
+    the first run, the scheduler ``submit``s ready tasks and ``poll``s
+    for results until the graph drains, :meth:`reset` clears per-run
+    state between runs, and :meth:`shutdown` releases everything.
+    """
+
+    #: Backend identifier (manifest field, ``REPRO_BACKEND`` value).
+    name: str = "backend"
+    #: Concurrent task capacity (manifest ``max_workers``).
+    workers: int = 1
+    #: Scheduler enforces RetryPolicy.timeout via :meth:`preempt`.
+    supports_preemption: bool = False
+    #: Tasks run in processes that can die independently.
+    remote_workers: bool = False
+    #: Backend coordinates across processes itself (skip single-flight).
+    external_coordination: bool = False
+    #: Backend needs the shared on-disk store to function.
+    requires_disk_cache: bool = False
+    #: A one-task graph may be inlined serially by the engine.
+    inline_single: bool = True
+
+    #: Cross-boundary payload accounting (zero for in-process backends).
+    transfer: TransferStats
+
+    def __init__(self) -> None:
+        self.transfer = TransferStats()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, cache) -> None:
+        """Bind to the engine's cache; idempotent."""
+
+    def reset(self) -> None:
+        """Drop per-run state (queued work); keep warm resources."""
+
+    def shutdown(self) -> None:
+        """Release workers/queues; the backend is dead afterwards."""
+
+    # -- the work loop -------------------------------------------------
+    def submit(self, execution: TaskExecution) -> None:
+        """Accept one ready task (queue it if at capacity)."""
+        raise NotImplementedError
+
+    def poll(self, timeout: Optional[float]) -> List[TaskResult]:
+        """Return available results, waiting up to ``timeout`` seconds.
+
+        May return an empty list on timeout.  Backends that compute in
+        the calling process do the compute inside ``poll``.
+        """
+        raise NotImplementedError
+
+    def active(self) -> int:
+        """Number of submitted-but-unreported tasks."""
+        raise NotImplementedError
+
+    # -- cancellation / preemption ------------------------------------
+    def quiesce(self) -> List[str]:
+        """Stop starting new work; return ids of dropped queued tasks.
+
+        Tasks already running keep running (drain them via ``poll``
+        within the grace window, then :meth:`abort`).
+        """
+        return []
+
+    def abort(self) -> None:
+        """Forcibly stop whatever is still running (best effort)."""
+
+    def preempt(self, task_id: str) -> bool:
+        """Kill a running task (timeout enforcement); True on success.
+
+        Only meaningful when :attr:`supports_preemption` is set.  After
+        a successful preempt the backend must not report a result for
+        the task.
+        """
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} name={self.name!r} " \
+               f"workers={self.workers}>"
+
+
+@dataclass
+class _QueueEntry:
+    """Internal FIFO entry shared by the simple backends."""
+
+    execution: TaskExecution
+    submitted_at: float = field(default_factory=time.perf_counter)

@@ -1,0 +1,156 @@
+"""Shared-memory transport for NumPy payloads crossing the pool.
+
+The pre-1.5 pool pickled whole dependency dicts — including TCAD curve
+arrays — into every task message.  Here a :mod:`pickle`-compatible
+codec intercepts large ``numpy.ndarray`` objects and moves their bytes
+through :class:`multiprocessing.shared_memory.SharedMemory` segments
+instead: the pickle stream carries only ``(segment name, shape,
+dtype)`` stubs, and the receiving process copies the data out of the
+segment and unlinks it.
+
+Ownership protocol (leak-free on the happy path, parent-reclaimable on
+crashes):
+
+* ``dumps`` creates the segments and immediately *unregisters* them
+  from the creating process's ``resource_tracker`` — otherwise both
+  ends' trackers would fight over unlinking and warn at exit;
+* ``loads`` copies every referenced segment out, closes and unlinks it
+  (the consumer owns destruction);
+* a message that is never consumed (its worker was SIGKILLed) leaks
+  its segments until :func:`unlink_segments` — the pool backend tracks
+  in-flight segment names per task and reclaims them when it reaps a
+  dead worker.
+
+Arrays below :data:`SHM_MIN_BYTES` (and object-dtype arrays, which
+hold references) travel inside the pickle stream as before — a segment
+per 80-byte sweep axis would cost more in syscalls than it saves in
+copies.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+from typing import Any, List, Tuple
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import resource_tracker, shared_memory
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - exotic platforms
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+    HAVE_SHM = False
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+    np = None  # type: ignore[assignment]
+
+#: Arrays smaller than this stay in the pickle stream [bytes].
+SHM_MIN_BYTES = int(os.environ.get("REPRO_SHM_MIN_BYTES", 4096))
+
+_STUB = "repro.shm.ndarray"
+
+
+def _unregister(shm) -> None:
+    """Detach a segment from this process's resource tracker."""
+    try:  # pragma: no cover - tracker internals vary across versions
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class _ShmPickler(pickle.Pickler):
+    """Pickler that exports large ndarrays into shared memory."""
+
+    def __init__(self, buffer: io.BytesIO, segments: List[str]):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._segments = segments
+        self.shm_bytes = 0
+
+    def persistent_id(self, obj: Any):
+        if (np is None or not HAVE_SHM
+                or not isinstance(obj, np.ndarray)
+                or obj.dtype.hasobject
+                or obj.nbytes < SHM_MIN_BYTES):
+            return None
+        data = np.ascontiguousarray(obj)
+        segment = shared_memory.SharedMemory(create=True,
+                                             size=max(data.nbytes, 1))
+        view = np.ndarray(data.shape, dtype=data.dtype,
+                          buffer=segment.buf)
+        view[...] = data
+        _unregister(segment)
+        name = segment.name
+        segment.close()
+        self._segments.append(name)
+        self.shm_bytes += data.nbytes
+        return (_STUB, name, data.shape, data.dtype.str)
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    """Unpickler that re-materialises (and destroys) shm segments."""
+
+    def __init__(self, buffer: io.BytesIO):
+        super().__init__(buffer)
+        self.shm_bytes = 0
+
+    def persistent_load(self, pid):
+        tag, name, shape, dtype = pid
+        if tag != _STUB:  # pragma: no cover - corrupt stream
+            raise pickle.UnpicklingError(f"unknown persistent id {tag!r}")
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            view = np.ndarray(shape, dtype=np.dtype(dtype),
+                              buffer=segment.buf)
+            array = np.array(view, copy=True)
+        finally:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self.shm_bytes += array.nbytes
+        return array
+
+
+def dumps(obj: Any) -> Tuple[bytes, List[str], int]:
+    """Serialise ``obj``; returns ``(payload, segment names, shm bytes)``.
+
+    The caller ships ``payload`` across the process boundary and keeps
+    the segment names so it can :func:`unlink_segments` if the payload
+    is never consumed.
+    """
+    buffer = io.BytesIO()
+    segments: List[str] = []
+    pickler = _ShmPickler(buffer, segments)
+    pickler.dump(obj)
+    return buffer.getvalue(), segments, pickler.shm_bytes
+
+
+def loads(payload: bytes) -> Tuple[Any, int]:
+    """Inverse of :func:`dumps`; returns ``(object, shm bytes read)``.
+
+    Destroys every shared-memory segment the payload references.
+    """
+    unpickler = _ShmUnpickler(io.BytesIO(payload))
+    obj = unpickler.load()
+    return obj, unpickler.shm_bytes
+
+
+def unlink_segments(names: List[str]) -> None:
+    """Reclaim segments whose consumer died before reading them."""
+    if not HAVE_SHM:  # pragma: no cover - exotic platforms
+        return
+    for name in names:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        _unregister(segment)
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing consumer
+            pass

@@ -1,0 +1,248 @@
+"""Cooperative multi-process draining of one graph via lease files.
+
+``WorkQueueBackend`` lets N independent ``python -m repro.flows``
+invocations on shared storage drain one task graph together.  There is
+no coordinator process: coordination is entirely filesystem state under
+the shared cache directory —
+
+``<cache_dir>/.queue/leases/<key>.lock``
+    an advisory :class:`~repro.engine.locks.FileLock` claiming the
+    right to compute a fingerprint.  ``flock`` state dies with the
+    holder, so a SIGKILLed peer's leases are claimable immediately
+    (lease *takeover* needs no timeout in the common crash case);
+``<cache_dir>/.queue/leases/<key>.json``
+    the holder's heartbeat (``{owner, pid, t}``), refreshed while the
+    compute runs.  It covers the *wedged-but-alive* peer: when a lease
+    is held but the heartbeat is older than :data:`LEASE_TTL_ENV`
+    seconds, other peers compute the key anyway — a bounded, deliberate
+    stampede; the cache's atomic publish makes duplicates harmless.
+
+Work-stealing falls out of the claim order: every peer walks its own
+ready set and claims whatever is unclaimed, so a fast peer drains tasks
+a slow peer has not reached.  Results cross processes through the
+content-addressed disk cache only — a fingerprint published by a peer
+surfaces here as a ``peer`` result.  The backend computes in the
+calling process (one task per :meth:`poll`, keeping cancellation checks
+at task boundaries) and marks ``external_coordination`` so the
+scheduler skips its own single-flight protocol — the lease *is* the
+flight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.engine.backends.base import (
+    ExecutionBackend,
+    RESULT_PEER,
+    TaskExecution,
+    TaskResult,
+    run_stage_inline,
+)
+from repro.engine.locks import FileLock
+from repro.errors import ReproError
+
+#: Environment variable overriding the stale-heartbeat bound [s].
+LEASE_TTL_ENV = "REPRO_LEASE_TTL"
+
+#: Default heartbeat age past which a held lease is considered wedged.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Queue state lives under ``<cache_dir>/<QUEUE_DIRNAME>/leases``.
+QUEUE_DIRNAME = ".queue"
+
+#: Idle poll sleep while every ready task is leased by live peers [s].
+IDLE_POLL_S = 0.05
+
+
+def resolve_lease_ttl(ttl: Optional[float] = None) -> float:
+    """Lease TTL: explicit > ``REPRO_LEASE_TTL`` > default."""
+    if ttl is not None:
+        return float(ttl)
+    env = os.environ.get(LEASE_TTL_ENV)
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ReproError(f"{LEASE_TTL_ENV} must be a number, "
+                             f"got {env!r}") from None
+        if value <= 0:
+            raise ReproError(f"{LEASE_TTL_ENV} must be positive, "
+                             f"got {env!r}")
+        return value
+    return DEFAULT_LEASE_TTL
+
+
+class _Lease:
+    """One held lease: the lock plus its heartbeat refresher thread."""
+
+    def __init__(self, lease_dir: Path, key: str, owner: str,
+                 ttl: float):
+        self.lock = FileLock(lease_dir / f"{key}.lock")
+        self.beat_path = lease_dir / f"{key}.json"
+        self.owner = owner
+        self.interval = max(ttl / 4.0, 0.05)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def try_acquire(self) -> bool:
+        if not self.lock.try_acquire():
+            return False
+        self._beat()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return True
+
+    def _beat(self) -> None:
+        try:
+            with open(self.beat_path, "w", encoding="utf-8") as handle:
+                json.dump({"owner": self.owner, "pid": os.getpid(),
+                           "t": time.time()}, handle)
+        except OSError:  # pragma: no cover - heartbeat is best-effort
+            pass
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._beat()
+
+    def release(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+        try:
+            os.unlink(self.beat_path)
+        except OSError:
+            pass
+        self.lock.release()
+
+
+def heartbeat_age(lease_dir: Path, key: str) -> Optional[float]:
+    """Seconds since the lease holder's last heartbeat; None = no beat."""
+    try:
+        with open(lease_dir / f"{key}.json", encoding="utf-8") as handle:
+            record = json.load(handle)
+        return max(time.time() - float(record["t"]), 0.0)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+class WorkQueueBackend(ExecutionBackend):
+    """Filesystem work queue over the shared cache (``"workqueue"``)."""
+
+    name = "workqueue"
+    workers = 1
+    external_coordination = True
+    requires_disk_cache = True
+    # A one-task graph must still go through the lease protocol —
+    # inlining it serially would bypass peer coordination.
+    inline_single = False
+
+    def __init__(self, lease_ttl: Optional[float] = None) -> None:
+        super().__init__()
+        self.lease_ttl = resolve_lease_ttl(lease_ttl)
+        self.owner = f"{socket.gethostname()}:{os.getpid()}"
+        self._cache = None
+        self._lease_dir: Optional[Path] = None
+        self._pending: List[TaskExecution] = []
+        #: Peer-takeover events (stale heartbeat overrides), for tests.
+        self.stale_overrides = 0
+
+    def start(self, cache) -> None:
+        if cache.cache_dir is None:
+            raise ReproError(
+                "WorkQueueBackend needs a shared on-disk cache "
+                "(cache_dir=... or REPRO_CACHE_DIR)")
+        self._cache = cache
+        self._lease_dir = Path(cache.cache_dir) / QUEUE_DIRNAME / "leases"
+        self._lease_dir.mkdir(parents=True, exist_ok=True)
+
+    def submit(self, execution: TaskExecution) -> None:
+        self._pending.append(execution)
+
+    # ------------------------------------------------------------------
+    # the claim-or-steal loop
+    # ------------------------------------------------------------------
+    def _peer_result(self, execution: TaskExecution,
+                     stage) -> Optional[TaskResult]:
+        """A peer already published this fingerprint to the store?"""
+        artifact, layer = self._cache.get(execution.key, stage)
+        if layer is None:
+            return None
+        return TaskResult(task_id=execution.task_id, status=RESULT_PEER,
+                          artifact=artifact, worker="peer",
+                          cache_layer=layer)
+
+    def _compute(self, execution: TaskExecution,
+                 lease: Optional[_Lease]) -> TaskResult:
+        try:
+            result = run_stage_inline(execution)
+        finally:
+            if lease is not None:
+                lease.release()
+        return result
+
+    def poll(self, timeout: Optional[float]) -> List[TaskResult]:
+        from repro.engine.stages import get_stage
+
+        results: List[TaskResult] = []
+        survivors: List[TaskExecution] = []
+        computed = False
+        for execution in self._pending:
+            stage = get_stage(execution.stage)
+            if computed:
+                survivors.append(execution)
+                continue
+            if not stage.persistent:
+                # Unsharable through the store: compute claim-free.
+                results.append(self._compute(execution, None))
+                computed = True
+                continue
+            peer = self._peer_result(execution, stage)
+            if peer is not None:
+                results.append(peer)
+                continue
+            lease = _Lease(self._lease_dir, execution.key, self.owner,
+                           self.lease_ttl)
+            if lease.try_acquire():
+                # Re-check under the lease: the previous holder may
+                # have published between our miss and our claim.
+                peer = self._peer_result(execution, stage)
+                if peer is not None:
+                    lease.release()
+                    results.append(peer)
+                    continue
+                results.append(self._compute(execution, lease))
+                computed = True
+                continue
+            age = heartbeat_age(self._lease_dir, execution.key)
+            if age is not None and age > self.lease_ttl:
+                # Held by a live-but-wedged peer: bounded stampede.
+                self.stale_overrides += 1
+                results.append(self._compute(execution, None))
+                computed = True
+                continue
+            survivors.append(execution)  # a live peer is on it; re-poll
+        self._pending = survivors
+        if not results and self._pending:
+            # Every ready task is leased by a live peer: their publishes
+            # land in the cache, not in our queue, so wake regularly.
+            time.sleep(IDLE_POLL_S if timeout is None
+                       else min(timeout, IDLE_POLL_S))
+        return results
+
+    def active(self) -> int:
+        return len(self._pending)
+
+    def quiesce(self) -> List[str]:
+        dropped = [e.task_id for e in self._pending]
+        self._pending.clear()
+        return dropped
+
+    def reset(self) -> None:
+        self._pending.clear()

@@ -1,31 +1,39 @@
-"""The task-graph executor.
+"""The engine facade: task graphs in, artefacts out.
 
 ``Engine.run`` takes a list of :class:`Task` descriptions, fingerprints
 them (stage version + payload + dependency fingerprints, so content
 addressing composes through the graph), serves whatever it can from the
-:class:`~repro.engine.cache.ArtifactCache`, and computes the rest —
-serially in deterministic topological order when ``max_workers == 1``,
-otherwise fanned out over a :class:`concurrent.futures.
-ProcessPoolExecutor` with dependency-aware scheduling: a task is
-submitted the moment its last dependency materialises, so extraction
-tasks feed PPA tasks as they complete rather than behind a barrier.
+:class:`~repro.engine.cache.ArtifactCache`, and hands the rest to the
+:class:`~repro.engine.scheduler.Scheduler`, which drives a pluggable
+:class:`~repro.engine.backends.ExecutionBackend`:
 
-Serial and parallel runs execute the same pure stage functions on the
-same inputs, so their artefacts are bit-identical; the only difference
-a manifest can show is wall time and worker ids.
+``serial``
+    deterministic in-process execution in topological order;
+``pool`` / ``pool:N``
+    persistent warm worker processes — modules imported once, NumPy
+    payloads moved through ``multiprocessing.shared_memory``;
+``workqueue``
+    a filesystem work queue under the shared cache directory, so N
+    independent ``python -m repro.flows`` invocations cooperatively
+    drain one graph (lease files + heartbeats, work-stealing).
+
+Backends execute the same pure stage functions on the same inputs, so
+their artefacts are bit-identical; the only difference a manifest can
+show is wall time and worker ids.  Selection: ``Engine(backend=...)``
+(spec string or instance) > the ``REPRO_BACKEND`` environment variable
+> the deprecated ``max_workers=`` / ``REPRO_MAX_WORKERS`` width > a
+machine-width pool.
 
 Failure domain (see :mod:`repro.resilience`): every task gets the
 engine's :class:`~repro.resilience.retry.RetryPolicy` — capped
 exponential backoff between attempts (``REPRO_TASK_RETRIES``) and an
-optional wall-time budget per task (``REPRO_TASK_TIMEOUT``, enforced by
-the parallel executor, which can kill and rebuild the pool).  A
-``BrokenProcessPool`` (worker SIGKILLed, OOMed...) rebuilds the pool
-and resubmits the lost in-flight tasks.  With ``on_error="continue"``
-a task that exhausts its attempts is recorded as a
+optional wall-time budget per task (``REPRO_TASK_TIMEOUT``, enforced on
+backends that can preempt a running task).  A dead worker surfaces as a
+``crashed`` result: the task is resubmitted without burning a retry
+attempt, bounded by a crash budget.  With ``on_error="continue"`` a
+task that exhausts its attempts is recorded as a
 :class:`~repro.engine.manifest.TaskFailure`, its dependents are marked
-``skipped``, and every independent subgraph still runs to completion —
-because the cache is content-addressed, re-running the same graph then
-recomputes *only* the failed/skipped tasks.
+``skipped``, and every independent subgraph still runs to completion.
 
 Durability (see :mod:`repro.engine.durability`): ``run`` optionally
 journals every task outcome to an append-only fsync'd
@@ -43,38 +51,32 @@ times.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 import traceback as traceback_module
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.deprecation import warn_deprecated
+from repro.engine.backends import (
+    BACKEND_ENV,
+    ExecutionBackend,
+    SerialBackend,
+    backend_for_workers,
+    resolve_backend,
+)
 from repro.engine.cache import ArtifactCache
 from repro.engine.durability import CancellationToken, RunJournal
 from repro.engine.fingerprint import combine_fingerprints, fingerprint
-from repro.engine.manifest import (
-    RunManifest,
-    STATUS_INTERRUPTED,
-    TaskFailure,
-    TaskRecord,
-)
+from repro.engine.manifest import RunManifest, TaskFailure
+from repro.engine.scheduler import Scheduler
 from repro.engine.stages import get_stage
-from repro.errors import (
-    EngineRunError,
-    InjectedFault,
-    ReproError,
-    RunInterrupted,
-    TaskTimeoutError,
-    WorkerCrashError,
-)
-from repro.observe import TIME_BUCKETS, activate, get_tracer, resolve_tracer
-from repro.resilience.faults import draw_fault, kill_current_process
+from repro.errors import EngineRunError, ReproError
+from repro.observe import activate, resolve_tracer
 from repro.resilience.retry import RetryPolicy, resolve_retry_policy
 
-#: Environment variable overriding the auto-detected worker count.
+#: Environment variable overriding the auto-detected worker count
+#: (deprecated in favour of ``REPRO_BACKEND=pool:N``).
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
 
 #: Characters of formatted traceback kept in a TaskFailure record.
@@ -177,62 +179,21 @@ def _traceback_tail(exc: BaseException) -> str:
     return text[-TRACEBACK_TAIL:]
 
 
-def _execute_in_worker(stage_name: str, payload: Any, deps: Dict[str, Any],
-                       observe: bool = False, task_id: str = "",
-                       fault: Optional[str] = None,
-                       ) -> Tuple[Any, str, float, Optional[Dict]]:
-    """Pool-side task execution.
-
-    Returns ``(artifact, worker id, wall time, observed)``; ``observed``
-    is the worker tracer's exported span/metric bundle when tracing is
-    on (the parent engine merges it into its own tracer, re-rooted
-    under the task's span — this is how spans nest across the
-    ``ProcessPoolExecutor`` boundary), else ``None``.
-
-    ``fault`` is an injection directive drawn by the *parent* engine
-    (deterministically) at submit time: ``"kill"`` SIGKILLs this worker
-    before computing, ``"exc:<message>"`` raises an
-    :class:`InjectedFault` in place of the stage compute.
-
-    Pipeline stages register at import time, so a spawn-started worker
-    needs the defining module imported before lookup; fork-started
-    workers inherit the parent's registry.
-    """
-    if fault == "kill":  # pragma: no cover - kills this process
-        kill_current_process()
-    try:
-        import repro.engine.pipeline  # noqa: F401  (registers stages)
-    except ImportError:
-        pass
-    stage = get_stage(stage_name)
-    if not observe:
-        start = time.perf_counter()
-        if fault is not None and fault.startswith("exc:"):
-            raise InjectedFault(fault[4:])
-        artifact = stage.compute(payload, deps)
-        return artifact, str(os.getpid()), time.perf_counter() - start, None
-
-    from repro.observe import Tracer
-    tracer = Tracer()
-    with activate(tracer):
-        start = time.perf_counter()
-        with tracer.span("engine.compute", task=task_id, stage=stage_name):
-            if fault is not None and fault.startswith("exc:"):
-                raise InjectedFault(fault[4:])
-            artifact = stage.compute(payload, deps)
-        wall = time.perf_counter() - start
-    return artifact, str(os.getpid()), wall, tracer.export_records()
-
-
 class Engine:
     """Content-addressed task-graph runner.
 
     Parameters
     ----------
+    backend:
+        Execution backend: a spec string (``"serial"``, ``"pool"``,
+        ``"pool:N"``, ``"workqueue"``) or an
+        :class:`~repro.engine.backends.ExecutionBackend` instance to
+        share between engines.  ``None`` resolves ``REPRO_BACKEND``,
+        then the deprecated worker-count path, then defaults to a
+        machine-width pool (serial on single-core machines).
     max_workers:
-        Pool width; ``None`` auto-detects (``REPRO_MAX_WORKERS`` env var,
-        then cpu count).  ``1`` forces deterministic in-process serial
-        execution — no pool is created.
+        Deprecated — pass ``backend="pool:N"`` (or ``"serial"`` for
+        ``N=1``) instead.  Still honoured through that mapping.
     cache:
         Share an existing :class:`ArtifactCache`; by default each engine
         owns one resolved from ``cache_dir`` / ``REPRO_CACHE_DIR``.
@@ -259,19 +220,48 @@ class Engine:
                  use_disk: bool = True,
                  observe: Any = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 on_error: str = "raise"):
+                 on_error: str = "raise",
+                 backend: Optional[Union[str, ExecutionBackend]] = None):
         if on_error not in ON_ERROR_MODES:
             raise ReproError(f"on_error must be one of {ON_ERROR_MODES}, "
                              f"got {on_error!r}")
-        self.max_workers = resolve_worker_count(max_workers)
+        if max_workers is not None:
+            warn_deprecated(
+                "Engine(max_workers=N) is deprecated; pass "
+                "backend='pool:N' (or 'serial' for N=1), or an "
+                "ExecutionBackend instance")
+        #: True when this engine constructed the backend itself (and
+        #: therefore owns its lifetime); False for shared instances.
+        self.owns_backend = not isinstance(backend, ExecutionBackend)
+        resolved = resolve_backend(backend)
+        if resolved is None:
+            if max_workers is None and os.environ.get(MAX_WORKERS_ENV):
+                warn_deprecated(
+                    f"{MAX_WORKERS_ENV} is deprecated; set "
+                    f"{BACKEND_ENV}='pool:N' (or 'serial') instead")
+            resolved = backend_for_workers(max_workers)
+        self.backend = resolved
         self.cache = cache or ArtifactCache(cache_dir=cache_dir,
                                             use_disk=use_disk)
+        if (self.backend.requires_disk_cache
+                and self.cache.cache_dir is None):
+            raise ReproError(
+                f"backend {self.backend.name!r} needs a shared on-disk "
+                f"cache; pass cache_dir=... or set REPRO_CACHE_DIR")
         self.observe = observe
         self.retry_policy = resolve_retry_policy(retry_policy)
         self.on_error = on_error
         self.last_manifest: Optional[RunManifest] = None
-        self._journal: Optional[RunJournal] = None
-        self._cancellation: Optional[CancellationToken] = None
+
+    @property
+    def max_workers(self) -> int:
+        """Concurrent task capacity of the engine's backend."""
+        return self.backend.workers
+
+    def shutdown(self) -> None:
+        """Release backend resources (only backends this engine owns)."""
+        if self.owns_backend:
+            self.backend.shutdown()
 
     def _tracer(self):
         """The tracer this engine's runs record into."""
@@ -349,7 +339,8 @@ class Engine:
         tracer = self._tracer()
         with activate(tracer):
             with tracer.span("engine.run", tasks=len(tasks),
-                             max_workers=self.max_workers) as span:
+                             max_workers=self.max_workers,
+                             backend=self.backend.name) as span:
                 result = self._run_traced(tasks, on_error,
                                           journal=journal,
                                           cancellation=cancellation)
@@ -377,616 +368,41 @@ class Engine:
         run_start = time.perf_counter()
         order = self._topological_order(tasks)
         keys = self.task_keys(order)
-        result = EngineRun(manifest=RunManifest(max_workers=self.max_workers))
+        result = EngineRun(manifest=RunManifest(
+            max_workers=self.max_workers, backend=self.backend.name))
         self.last_manifest = result.manifest
-        self._journal = journal
-        self._cancellation = cancellation
+        scheduler = Scheduler(self.cache, self.retry_policy,
+                              journal=journal, cancellation=cancellation,
+                              run_start=run_start)
         pinned = set(keys.values())
         self.cache.pin(pinned)
 
         try:
-            pending: List[Task] = []
-            for task in order:
-                if not self._try_cache(task, keys[task.id], result):
-                    pending.append(task)
-
-            self._check_cancelled(result)
+            pending = [task for task in order
+                       if not scheduler.try_cache(task, keys[task.id],
+                                                  result)]
+            scheduler.check_cancelled(result)
             if pending:
-                if self.max_workers == 1 or len(pending) == 1:
-                    self._run_serial(pending, keys, result, on_error)
-                else:
-                    self._run_parallel(pending, keys, result, on_error)
+                backend = self.backend
+                if (len(pending) == 1 and backend.inline_single
+                        and not isinstance(backend, SerialBackend)):
+                    # Degenerate graph: one task gains nothing from
+                    # worker transport — run it in-process (matches the
+                    # pre-1.5 single-task serial inlining).
+                    backend = SerialBackend()
+                backend.start(self.cache)
+                transfer_before = backend.transfer.total_bytes
+                try:
+                    scheduler.execute(pending, keys, result, backend,
+                                      on_error)
+                finally:
+                    result.manifest.transfer_bytes = (
+                        backend.transfer.total_bytes - transfer_before)
         finally:
             self.cache.unpin(pinned)
-            self._journal = None
-            self._cancellation = None
-            result.manifest.total_wall_time = time.perf_counter() - run_start
+            result.manifest.total_wall_time = (time.perf_counter()
+                                               - run_start)
         return result
-
-    # ------------------------------------------------------------------
-    # durability hooks
-    # ------------------------------------------------------------------
-    def _journal_task(self, record: Dict[str, Any]) -> None:
-        journal = getattr(self, "_journal", None)
-        if journal is not None:
-            journal.append(record)
-
-    def _cancelled(self) -> bool:
-        cancellation = getattr(self, "_cancellation", None)
-        return cancellation is not None and cancellation.is_set()
-
-    def _check_cancelled(self, result: EngineRun) -> None:
-        """Raise :class:`RunInterrupted` when the token is set."""
-        if not self._cancelled():
-            return
-        self._interrupt(result)
-
-    def _interrupt(self, result: EngineRun) -> None:
-        cancellation = self._cancellation
-        result.manifest.status = STATUS_INTERRUPTED
-        reason = cancellation.reason if cancellation else "cancelled"
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.counter("engine.run.interrupted").inc()
-            tracer.event("engine.run.interrupted", reason=reason,
-                         done=len(result.artifacts))
-        raise RunInterrupted(
-            f"run interrupted by {reason} after "
-            f"{len(result.artifacts)} task(s); resume recomputes only "
-            f"what the journal and cache did not preserve",
-            manifest=result.manifest,
-            run_id=result.manifest.run_id)
-
-    # ------------------------------------------------------------------
-    # bookkeeping shared by the serial and parallel paths
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _observe_record(record: TaskRecord, **extra: Any) -> None:
-        """Fold a manifest record into the trace's event stream."""
-        tracer = get_tracer()
-        if not tracer.enabled:
-            return
-        tracer.event("engine.task", task=record.task_id, stage=record.stage,
-                     cache=record.cache, wall_time=record.wall_time,
-                     worker=record.worker, **extra)
-        if record.cache_hit:
-            tracer.counter(f"engine.cache_hits.{record.cache}").inc()
-
-    def _record_computed(self, task: Task, key: str, artifact: Any,
-                         worker: str, wall: float, result: EngineRun,
-                         attempts: int = 1, **extra: Any) -> None:
-        self.cache.put(key, get_stage(task.stage), artifact)
-        result.artifacts[task.id] = artifact
-        record = TaskRecord(
-            task_id=task.id, stage=task.stage, key=key, cache="miss",
-            wall_time=wall, worker=worker, attempts=attempts)
-        result.manifest.add(record)
-        self._observe_record(record, **extra)
-        self._journal_task({"type": "task", "id": task.id, "key": key,
-                            "stage": task.stage, "status": "done",
-                            "cache": "miss"})
-        # Chaos hook: die at this task boundary — the artefact is
-        # published and journalled, so a resume trusts it and loses at
-        # most the tasks that were in flight.
-        if draw_fault("proc_kill", task.stage) is not None:
-            kill_current_process()  # pragma: no cover - kills process
-
-    def _record_failure(self, task: Task, key: str, exc: BaseException,
-                        attempts: int, result: EngineRun) -> TaskFailure:
-        failure = TaskFailure(
-            task_id=task.id, stage=task.stage, key=key, status="failed",
-            error_type=type(exc).__name__, message=str(exc),
-            attempts=attempts, traceback=_traceback_tail(exc))
-        result.manifest.add_failure(failure)
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.counter("engine.task.failed").inc()
-            tracer.event("engine.task.failed", task=task.id,
-                         stage=task.stage, error=type(exc).__name__,
-                         message=str(exc), attempts=attempts)
-        self._journal_task({"type": "task", "id": task.id, "key": key,
-                            "stage": task.stage, "status": "failed",
-                            "error": type(exc).__name__})
-        return failure
-
-    def _record_skip(self, task: Task, key: str, upstream: str,
-                     result: EngineRun) -> TaskFailure:
-        failure = TaskFailure(
-            task_id=task.id, stage=task.stage, key=key, status="skipped",
-            upstream=upstream)
-        result.manifest.add_failure(failure)
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.counter("engine.task.skipped").inc()
-            tracer.event("engine.task.skipped", task=task.id,
-                         stage=task.stage, upstream=upstream)
-        self._journal_task({"type": "task", "id": task.id, "key": key,
-                            "stage": task.stage, "status": "skipped",
-                            "upstream": upstream})
-        return failure
-
-    @staticmethod
-    def _note_retry(task: Task, attempt: int, exc: BaseException,
-                    delay: float) -> None:
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.counter("engine.task.retry").inc()
-            tracer.event("engine.task.retry", task=task.id,
-                         stage=task.stage, attempt=attempt,
-                         error=type(exc).__name__, delay_s=delay)
-
-    def _dep_artifacts(self, task: Task, result: EngineRun) -> Dict[str, Any]:
-        return {dep: result.artifacts[dep] for dep in task.deps}
-
-    def _try_cache(self, task: Task, key: str, result: EngineRun) -> bool:
-        """Serve a task from cache if possible (same-key dedup in a run)."""
-        stage = get_stage(task.stage)
-        start = time.perf_counter()
-        artifact, layer = self.cache.get(key, stage)
-        if layer is None:
-            return False
-        result.artifacts[task.id] = artifact
-        record = TaskRecord(
-            task_id=task.id, stage=task.stage, key=key, cache=layer,
-            wall_time=time.perf_counter() - start, worker="cache")
-        result.manifest.add(record)
-        self._observe_record(record)
-        self._journal_task({"type": "task", "id": task.id, "key": key,
-                            "stage": task.stage, "status": "done",
-                            "cache": layer})
-        return True
-
-    # ------------------------------------------------------------------
-    # serial execution
-    # ------------------------------------------------------------------
-    def _run_serial(self, pending: Sequence[Task], keys: Dict[str, str],
-                    result: EngineRun, on_error: str) -> None:
-        tracer = get_tracer()
-        policy = self.retry_policy
-        unresolved: Dict[str, TaskFailure] = {}
-        for task in pending:
-            self._check_cancelled(result)
-            # an earlier same-key task may have materialised it already
-            if self._try_cache(task, keys[task.id], result):
-                continue
-            bad_dep = next((d for d in task.deps if d in unresolved), None)
-            if bad_dep is not None:
-                unresolved[task.id] = self._record_skip(
-                    task, keys[task.id], bad_dep, result)
-                continue
-            stage = get_stage(task.stage)
-            # Cross-process single flight: if another invocation is
-            # computing this exact fingerprint, wait for its publish
-            # instead of duplicating the work (bounded by the lock
-            # timeout — then we compute anyway).
-            flight = None
-            if stage.persistent:
-                flight = self.cache.begin_flight(keys[task.id])
-                if flight is None:
-                    outcome = self.cache.flight_wait(keys[task.id],
-                                                     task.stage)
-                    if (outcome == "ready"
-                            and self._try_cache(task, keys[task.id],
-                                                result)):
-                        continue
-                    flight = self.cache.begin_flight(keys[task.id])
-            deps = self._dep_artifacts(task, result)
-            attempt = 0
-            try:
-                while True:
-                    attempt += 1
-                    start = time.perf_counter()
-                    try:
-                        rule = draw_fault("stage_exc", task.stage)
-                        with tracer.span("engine.compute", task=task.id,
-                                         stage=task.stage):
-                            if rule is not None:
-                                raise InjectedFault(
-                                    rule.message
-                                    or f"injected stage_exc at "
-                                       f"{task.stage}")
-                            artifact = stage.compute(task.payload, deps)
-                    except Exception as exc:
-                        if attempt < policy.attempts:
-                            delay = policy.delay(attempt)
-                            self._note_retry(task, attempt, exc, delay)
-                            if delay > 0:
-                                time.sleep(delay)
-                            continue
-                        unresolved[task.id] = self._record_failure(
-                            task, keys[task.id], exc, attempt, result)
-                        if on_error == "raise":
-                            raise
-                        break
-                    self._record_computed(task, keys[task.id], artifact,
-                                          "main",
-                                          time.perf_counter() - start,
-                                          result, attempts=attempt)
-                    break
-            finally:
-                self.cache.end_flight(flight)
-
-    # ------------------------------------------------------------------
-    # parallel execution
-    # ------------------------------------------------------------------
-    def _run_parallel(self, pending: Sequence[Task], keys: Dict[str, str],
-                      result: EngineRun, on_error: str) -> None:
-        tracer = get_tracer()
-        observing = tracer.enabled
-        policy = self.retry_policy
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context()
-        workers = min(self.max_workers, len(pending))
-
-        waiting = {task.id: task for task in pending}
-        futures: Dict[Any, Task] = {}
-        deadlines: Dict[Any, float] = {}
-        deferred: List[Tuple[float, Task]] = []   # backoff timers
-        attempts: Dict[str, int] = {}
-        crashes: Dict[str, int] = {}
-        submit_times: Dict[str, float] = {}
-        inflight_keys = set()
-        unresolved: Dict[str, TaskFailure] = {}
-        lost_submits: List[Task] = []
-        pool_broken = False
-        #: Cross-process single-flight claims held for in-flight keys.
-        flights: Dict[str, Any] = {}
-        #: Tasks parked behind another *process's* flight, with the
-        #: stampede-fallback deadline after which we compute anyway.
-        flight_blocked: Dict[str, float] = {}
-
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-
-        def release_flight(key: str) -> None:
-            flight = flights.pop(key, None)
-            if flight is not None:
-                self.cache.end_flight(flight)
-
-        def fail_task(task: Task, exc: BaseException,
-                      n_attempts: int) -> BaseException:
-            """Record a final failure; fail same-key duplicates too.
-
-            A task parked behind an in-flight duplicate key must fail
-            when that computation fails — identical content implies an
-            identical outcome, and leaving it parked would deadlock
-            the run (the key never materialises).
-            """
-            key = keys[task.id]
-            unresolved[task.id] = self._record_failure(
-                task, key, exc, n_attempts, result)
-            inflight_keys.discard(key)
-            release_flight(key)
-            for dup_id in [t for t in waiting if keys[t] == key]:
-                dup = waiting.pop(dup_id)
-                flight_blocked.pop(dup_id, None)
-                unresolved[dup_id] = self._record_failure(
-                    dup, key, exc, 0, result)
-            return exc
-
-        def submit(task: Task, attempt: int) -> None:
-            nonlocal pool_broken
-            fault = None
-            rule = draw_fault("worker_kill", task.stage)
-            if rule is not None:
-                fault = "kill"
-            else:
-                rule = draw_fault("stage_exc", task.stage)
-                if rule is not None:
-                    fault = "exc:" + (rule.message or
-                                      f"injected stage_exc at {task.stage}")
-            if observing:
-                submit_times[task.id] = time.perf_counter()
-                tracer.event("engine.task.submit", task=task.id,
-                             stage=task.stage, attempt=attempt)
-            try:
-                future = pool.submit(
-                    _execute_in_worker, task.stage, task.payload,
-                    self._dep_artifacts(task, result), observing, task.id,
-                    fault)
-            except (BrokenProcessPool, RuntimeError):
-                # Pool already broken (or shutting down): queue the task
-                # for the rebuild pass instead of losing it.
-                pool_broken = True
-                lost_submits.append(task)
-                return
-            futures[future] = task
-            if policy.timeout is not None:
-                deadlines[future] = time.monotonic() + policy.timeout
-
-        def submit_ready() -> None:
-            # loop to quiescence: a cache-served task can unblock its
-            # dependents within the same scheduling round
-            progress = True
-            while progress:
-                progress = False
-                now = time.monotonic()
-                for entry in list(deferred):
-                    ready_at, task = entry
-                    if now >= ready_at:
-                        deferred.remove(entry)
-                        attempts[task.id] += 1
-                        submit(task, attempts[task.id])
-                        progress = True
-                for task_id in list(waiting):
-                    task = waiting[task_id]
-                    key = keys[task_id]
-                    if self._try_cache(task, key, result):
-                        del waiting[task_id]
-                        flight_blocked.pop(task_id, None)
-                        progress = True
-                        continue
-                    bad_dep = next((d for d in task.deps
-                                    if d in unresolved), None)
-                    if bad_dep is not None:
-                        del waiting[task_id]
-                        flight_blocked.pop(task_id, None)
-                        unresolved[task_id] = self._record_skip(
-                            task, key, bad_dep, result)
-                        progress = True
-                        continue
-                    if not all(dep in result.artifacts
-                               for dep in task.deps):
-                        continue
-                    if key in inflight_keys:
-                        # same-key task already computing: it resolves
-                        # here (from cache) on success, or through
-                        # fail_task on failure — never parked forever
-                        continue
-                    if (get_stage(task.stage).persistent
-                            and key not in flights):
-                        flight = self.cache.begin_flight(key)
-                        if flight is None:
-                            # Another *process* is computing this key:
-                            # stay parked (each round re-checks the
-                            # cache above) until its publish lands or
-                            # the stampede-fallback deadline passes.
-                            deadline = flight_blocked.setdefault(
-                                task_id, time.monotonic()
-                                + self.cache.lock_timeout)
-                            if time.monotonic() < deadline:
-                                continue
-                        else:
-                            flights[key] = flight
-                    flight_blocked.pop(task_id, None)
-                    del waiting[task_id]
-                    inflight_keys.add(key)
-                    attempts[task_id] = 1
-                    submit(task, 1)
-                    progress = True
-
-        def rebuild_pool(lost: List[Tuple[Task, bool]],
-                         reason: str) -> None:
-            """Replace the dead pool; retry/fail the lost tasks.
-
-            ``lost`` holds ``(task, overdue)`` pairs; overdue tasks
-            (timeout kills) burn a retry attempt, collateral ones are
-            resubmitted for free (their crash budget still bounds the
-            worst case of a task that keeps killing its worker).
-            """
-            nonlocal pool
-            result.manifest.pool_rebuilds += 1
-            if observing:
-                tracer.counter("engine.pool.rebuilt").inc()
-                tracer.event("engine.pool.rebuilt", reason=reason,
-                             lost=len(lost))
-            pool.shutdown(wait=False, cancel_futures=True)
-            pool = ProcessPoolExecutor(max_workers=workers,
-                                       mp_context=context)
-            for task, overdue in lost:
-                n = attempts.get(task.id, 1)
-                if overdue:
-                    exc: BaseException = TaskTimeoutError(
-                        f"task {task.id} exceeded its "
-                        f"{policy.timeout:g}s budget")
-                    if n < policy.attempts:
-                        delay = policy.delay(n)
-                        self._note_retry(task, n, exc, delay)
-                        deferred.append((time.monotonic() + delay, task))
-                    else:
-                        raise_or_continue(fail_task(task, exc, n))
-                    continue
-                crashes[task.id] = crashes.get(task.id, 0) + 1
-                if crashes[task.id] > policy.retries + 1:
-                    exc = WorkerCrashError(
-                        f"worker died {crashes[task.id]} times while "
-                        f"computing {task.id}")
-                    raise_or_continue(fail_task(task, exc, n))
-                else:
-                    if observing:
-                        tracer.event("engine.task.resubmit", task=task.id,
-                                     stage=task.stage, reason=reason)
-                    submit(task, n)
-
-        raised: List[BaseException] = []
-
-        def raise_or_continue(exc: BaseException) -> None:
-            if on_error == "raise":
-                raised.append(exc)
-
-        def kill_pool_processes() -> None:
-            processes = getattr(pool, "_processes", None) or {}
-            for process in list(processes.values()):
-                try:
-                    process.kill()
-                except Exception:  # pragma: no cover - already dead
-                    pass
-
-        def record_success(task: Task, payload: Tuple) -> None:
-            artifact, worker, wall, observed = payload
-            inflight_keys.discard(keys[task.id])
-            finish_flight = keys[task.id]
-            extra = {}
-            if observing:
-                # Queue latency: time the finished task spent waiting
-                # for a pool slot plus serialisation, i.e. everything
-                # between submit and compute.
-                elapsed = time.perf_counter() - submit_times.pop(task.id)
-                queue_s = max(elapsed - wall, 0.0)
-                extra["queue_s"] = queue_s
-                tracer.histogram("engine.queue_latency_s",
-                                 TIME_BUCKETS).observe(queue_s)
-                if observed is not None:
-                    tracer.merge_records(observed)
-            self._record_computed(task, keys[task.id], artifact, worker,
-                                  wall, result,
-                                  attempts=attempts.get(task.id, 1),
-                                  **extra)
-            # The artefact is published: let waiting peers read it.
-            release_flight(finish_flight)
-
-        def drain_and_interrupt() -> None:
-            """Graceful shutdown: drain in-flight work, then stop.
-
-            No new submissions happen after this point; pending
-            backoff retries are dropped; in-flight futures get the
-            grace window to land (their results are recorded and
-            journalled), then the pool is killed.
-            """
-            deferred.clear()
-            grace = (self._cancellation.grace
-                     if self._cancellation is not None else 0.0)
-            deadline = time.monotonic() + grace
-            while futures and time.monotonic() < deadline:
-                done, _ = wait(futures,
-                               timeout=max(0.0, min(
-                                   0.1, deadline - time.monotonic())),
-                               return_when=FIRST_COMPLETED)
-                for future in sorted(done, key=lambda f: futures[f].id):
-                    task = futures.pop(future)
-                    deadlines.pop(future, None)
-                    try:
-                        payload = future.result()
-                    except Exception:
-                        if observing:
-                            submit_times.pop(task.id, None)
-                        continue
-                    record_success(task, payload)
-            if futures:
-                kill_pool_processes()
-            self._interrupt(result)
-
-        try:
-            submit_ready()
-            while ((futures or deferred or lost_submits or flight_blocked)
-                   and not raised):
-                if self._cancelled():
-                    drain_and_interrupt()
-                if pool_broken:
-                    pool_broken = False
-                    lost = [(task, False) for task in lost_submits]
-                    lost_submits.clear()
-                    for future, task in list(futures.items()):
-                        # Futures that completed before the pool died
-                        # still hold valid results — harvest instead of
-                        # recomputing.
-                        payload = None
-                        if future.done():
-                            try:
-                                payload = future.result()
-                            except Exception:
-                                payload = None
-                        if payload is not None:
-                            record_success(task, payload)
-                        else:
-                            if observing:
-                                submit_times.pop(task.id, None)
-                            lost.append((task, False))
-                    futures.clear()
-                    deadlines.clear()
-                    rebuild_pool(lost, reason="broken_pool")
-                    submit_ready()
-                    continue
-                if not futures:
-                    if not deferred and not flight_blocked:
-                        break
-                    now = time.monotonic()
-                    sleep_for = 0.0
-                    if deferred:
-                        earliest = min(ready for ready, _ in deferred)
-                        sleep_for = max(sleep_for, earliest - now)
-                    if flight_blocked:
-                        # Poll: the other process's publish lands in the
-                        # cache, not in our futures, so wake regularly.
-                        sleep_for = min(sleep_for, 0.05) if sleep_for \
-                            else 0.05
-                    if sleep_for > 0:
-                        time.sleep(sleep_for)
-                    submit_ready()
-                    continue
-                timeout = None
-                now = time.monotonic()
-                if deadlines:
-                    timeout = max(0.0, min(deadlines.values()) - now)
-                if deferred:
-                    wake = max(0.0, min(r for r, _ in deferred) - now)
-                    timeout = wake if timeout is None else min(timeout, wake)
-                if flight_blocked:
-                    timeout = 0.05 if timeout is None else min(timeout, 0.05)
-                done, _ = wait(futures, timeout=timeout,
-                               return_when=FIRST_COMPLETED)
-                for future in sorted(done, key=lambda f: futures[f].id):
-                    task = futures.pop(future)
-                    deadlines.pop(future, None)
-                    try:
-                        payload = future.result()
-                    except BrokenProcessPool:
-                        # The whole pool is dead; this task (and every
-                        # other in-flight one) is lost — rebuild once.
-                        pool_broken = True
-                        lost_submits.append(task)
-                        if observing:
-                            submit_times.pop(task.id, None)
-                        continue
-                    except Exception as exc:
-                        n = attempts.get(task.id, 1)
-                        if observing:
-                            submit_times.pop(task.id, None)
-                        if n < policy.attempts:
-                            delay = policy.delay(n)
-                            self._note_retry(task, n, exc, delay)
-                            deferred.append(
-                                (time.monotonic() + delay, task))
-                        else:
-                            raise_or_continue(fail_task(task, exc, n))
-                        continue
-                    record_success(task, payload)
-                if pool_broken or raised:
-                    continue
-                if deadlines:
-                    now = time.monotonic()
-                    overdue = {futures[f].id for f, deadline
-                               in deadlines.items()
-                               if deadline <= now and not f.done()}
-                    if overdue:
-                        if observing:
-                            for task_id in sorted(overdue):
-                                tracer.counter("engine.task.timeout").inc()
-                                tracer.event("engine.task.timeout",
-                                             task=task_id)
-                        # A stuck worker cannot be preempted politely:
-                        # kill the pool, rebuild, resubmit the
-                        # collateral in-flight tasks.
-                        kill_pool_processes()
-                        lost = [(task, task.id in overdue)
-                                for task in futures.values()]
-                        futures.clear()
-                        deadlines.clear()
-                        rebuild_pool(lost, reason="timeout")
-                submit_ready()
-            if raised:
-                raise raised[0]
-            if waiting:
-                # Structural safety net: any task still parked here is a
-                # scheduler bug — fail loudly rather than deadlock.
-                raise ReproError(
-                    f"executor stalled with {len(waiting)} unresolved "
-                    f"task(s): {sorted(waiting)}")
-        finally:
-            for key in list(flights):
-                release_flight(key)
-            pool.shutdown(wait=False, cancel_futures=True)
 
 
 # ----------------------------------------------------------------------

@@ -29,8 +29,18 @@ class TaskRecord:
 
     ``cache`` is ``"memory"``, ``"disk"`` or ``"miss"`` (computed);
     ``worker`` is ``"cache"`` for hits, ``"main"`` for in-process serial
-    execution, or the pool worker's pid rendered as a string.
+    execution, ``"peer"`` for artefacts published by another work-queue
+    invocation, or the pool worker's pid rendered as a string.
     ``attempts`` counts compute attempts (> 1 after retries).
+
+    Time semantics: ``wall_time`` is the task's own elapsed compute
+    time (on whatever worker ran it), ``cpu_time`` its process CPU
+    time, and ``started_at`` the compute start as an offset from the
+    run start (-1.0 when unknown, e.g. cache hits).  Per-task wall
+    times of a parallel run overlap — summing them gives busy
+    worker-seconds, *not* elapsed time (the pre-1.5 manifests summed
+    them into a per-stage "wall_time" that could exceed the run's
+    ``total_wall_time``; see :meth:`RunManifest.summary`).
     """
 
     task_id: str
@@ -40,6 +50,8 @@ class TaskRecord:
     wall_time: float
     worker: str
     attempts: int = 1
+    cpu_time: float = 0.0
+    started_at: float = -1.0
 
     @property
     def cache_hit(self) -> bool:
@@ -77,6 +89,10 @@ class RunManifest:
     failures: List[TaskFailure] = field(default_factory=list)
     total_wall_time: float = 0.0
     pool_rebuilds: int = 0
+    #: Execution backend name ("" for pre-1.5 manifests).
+    backend: str = ""
+    #: Serialized payload bytes that crossed process boundaries.
+    transfer_bytes: int = 0
     #: ``completed`` normally; ``interrupted`` when a SIGINT/SIGTERM
     #: stopped the run early (the journal + cache make it resumable).
     status: str = STATUS_COMPLETED
@@ -133,6 +149,32 @@ class RunManifest:
         return (sum(r.attempts - 1 for r in self.records)
                 + sum(max(f.attempts - 1, 0) for f in self.failures))
 
+    def stage_wall_span(self, stage: str) -> float:
+        """Elapsed wall-clock span of a stage's computed tasks.
+
+        ``max(start + wall) - min(start)`` over records with a known
+        ``started_at`` — overlapping parallel tasks are counted once,
+        so the span can never exceed ``total_wall_time``.  Falls back
+        to summed task time when no record carries a timestamp (old
+        manifests, cache-only stages).
+        """
+        timed = [r for r in self.for_stage(stage) if r.started_at >= 0.0]
+        if not timed:
+            return sum(r.wall_time for r in self.for_stage(stage))
+        return (max(r.started_at + r.wall_time for r in timed)
+                - min(r.started_at for r in timed))
+
+    #: What each summary time field means (the pre-1.5 per-stage
+    #: "wall_time" summed overlapping worker time and could exceed
+    #: ``total_wall_time`` — 21.6 s vs 20.5 s in BENCH_engine.json).
+    TIME_SEMANTICS = {
+        "wall_span": "elapsed wall-clock span of the stage "
+                     "(overlapping tasks counted once)",
+        "task_seconds": "summed per-task wall time "
+                        "(busy worker-seconds, not elapsed time)",
+        "cpu_seconds": "summed per-task process CPU time",
+    }
+
     def summary(self) -> Dict:
         """Aggregate view: totals plus per-stage hit/compute breakdown."""
         per_stage = {}
@@ -142,7 +184,9 @@ class RunManifest:
                 "tasks": len(records),
                 "hits": sum(1 for r in records if r.cache_hit),
                 "computed": sum(1 for r in records if not r.cache_hit),
-                "wall_time": sum(r.wall_time for r in records),
+                "wall_span": self.stage_wall_span(stage),
+                "task_seconds": sum(r.wall_time for r in records),
+                "cpu_seconds": sum(r.cpu_time for r in records),
             }
         return {
             "tasks": len(self.records) + len(self.failures),
@@ -153,11 +197,14 @@ class RunManifest:
             "retries": self.retries(),
             "pool_rebuilds": self.pool_rebuilds,
             "max_workers": self.max_workers,
+            "backend": self.backend,
+            "transfer_bytes": self.transfer_bytes,
             "workers_used": self.workers_used(),
             "total_wall_time": self.total_wall_time,
             "status": self.status,
             "run_id": self.run_id,
             "stages": per_stage,
+            "time_semantics": dict(self.TIME_SEMANTICS),
         }
 
     # ------------------------------------------------------------------
@@ -169,6 +216,8 @@ class RunManifest:
             "max_workers": self.max_workers,
             "total_wall_time": self.total_wall_time,
             "pool_rebuilds": self.pool_rebuilds,
+            "backend": self.backend,
+            "transfer_bytes": self.transfer_bytes,
             "status": self.status,
             "run_id": self.run_id,
             "records": [asdict(r) for r in self.records],
@@ -181,6 +230,8 @@ class RunManifest:
         manifest = cls(max_workers=data["max_workers"],
                        total_wall_time=data.get("total_wall_time", 0.0),
                        pool_rebuilds=data.get("pool_rebuilds", 0),
+                       backend=data.get("backend", ""),
+                       transfer_bytes=data.get("transfer_bytes", 0),
                        status=data.get("status", STATUS_COMPLETED),
                        run_id=data.get("run_id", ""))
         for record in data.get("records", []):
@@ -225,6 +276,8 @@ class RunManifest:
             f"{summary['cache_hits']} cached / {summary['computed']} "
             f"computed, {summary['total_wall_time']:.2f}s wall, "
             f"max_workers={summary['max_workers']}")
+        if self.backend:
+            headline += f", backend={self.backend}"
         if summary["failed"] or summary["skipped"]:
             headline += (f", {summary['failed']} failed / "
                          f"{summary['skipped']} skipped")
@@ -239,7 +292,8 @@ class RunManifest:
             lines.append(
                 f"  {stage:<16} {row['tasks']:>3} tasks  "
                 f"{row['hits']:>3} hit {row['computed']:>3} computed  "
-                f"{row['wall_time']:.2f}s")
+                f"{row['wall_span']:.2f}s span "
+                f"({row['task_seconds']:.2f}s task time)")
         for failure in self.failures:
             detail = (f"{failure.error_type}: {failure.message}"
                       if failure.status == "failed"

@@ -13,7 +13,7 @@ cache and restore one kind of artefact:
   code can never be mistaken for current ones.
 
 Stages register at import time; worker processes re-register them by
-importing the defining module (see ``executor._execute_in_worker``).
+importing the defining module (see ``backends.pool._pool_worker_main``).
 """
 
 from __future__ import annotations

@@ -89,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default REPRO_CACHE_DIR)")
         p.add_argument("--workers", type=int, default=None,
                        help="engine width (default REPRO_MAX_WORKERS)")
+        p.add_argument("--backend", default=None,
+                       help="execution backend: serial, pool, pool:N or "
+                            "workqueue (default REPRO_BACKEND); "
+                            "'workqueue' lets several invocations "
+                            "sharing one cache drain the same run")
         p.add_argument("--grace", type=float, default=None,
                        help="shutdown drain window in seconds "
                             "(default REPRO_SHUTDOWN_GRACE)")
@@ -174,9 +179,16 @@ def _cmd_list(args) -> int:
 
 
 def _engine_for(args) -> Optional[Engine]:
-    if args.cache_dir is None and args.workers is None:
+    if (args.cache_dir is None and args.workers is None
+            and args.backend is None):
         return None
-    return Engine(max_workers=args.workers, cache_dir=args.cache_dir)
+    backend = args.backend
+    if backend is None and args.workers is not None:
+        backend = ("serial" if args.workers == 1
+                   else f"pool:{args.workers}")
+    elif backend == "pool" and args.workers is not None:
+        backend = f"pool:{args.workers}"
+    return Engine(backend=backend, cache_dir=args.cache_dir)
 
 
 def _rewrite_resume_alias(argv: List[str]) -> List[str]:

@@ -30,7 +30,7 @@ from typing import Any, Dict, List, Optional
 from repro.cells.library import CELL_NAMES
 from repro.cells.netlist_builder import Parasitics
 from repro.cells.variants import DeviceVariant
-from repro.engine import Engine, default_engine
+from repro.engine import Engine, backend_for_workers, default_engine
 from repro.engine.durability import (
     GracefulShutdown,
     RunJournal,
@@ -113,10 +113,14 @@ def _flow_kwargs_from(record: Dict[str, Any]) -> Dict[str, Any]:
 
 def _resolve_durable_engine(engine: Optional[Engine],
                             cache_dir,
-                            max_workers: Optional[int]) -> Engine:
+                            max_workers: Optional[int],
+                            backend=None) -> Engine:
     if engine is None:
-        if cache_dir is not None or max_workers is not None:
-            engine = Engine(max_workers=max_workers, cache_dir=cache_dir)
+        if (cache_dir is not None or max_workers is not None
+                or backend is not None):
+            if backend is None and max_workers is not None:
+                backend = backend_for_workers(max_workers)
+            engine = Engine(backend=backend, cache_dir=cache_dir)
         else:
             engine = default_engine()
     if engine.cache.cache_dir is None:
@@ -137,6 +141,7 @@ def run_durable_flow(*,
                      engine: Optional[Engine] = None,
                      cache_dir=None,
                      max_workers: Optional[int] = None,
+                     backend=None,
                      run_id: Optional[str] = None,
                      grace: Optional[float] = None,
                      observe=None) -> DurableFlowRun:
@@ -151,7 +156,8 @@ def run_durable_flow(*,
     :class:`~repro.errors.RunInterrupted` — pass the same ``run_id``
     (or use :func:`resume_run` / the CLI) to continue it later.
     """
-    engine = _resolve_durable_engine(engine, cache_dir, max_workers)
+    engine = _resolve_durable_engine(engine, cache_dir, max_workers,
+                                     backend)
     cache_root = engine.cache.cache_dir
     run_id = run_id or new_run_id()
     directory = run_dir(cache_root, run_id)
@@ -217,6 +223,7 @@ def resume_run(run_id: str, *,
                engine: Optional[Engine] = None,
                cache_dir=None,
                max_workers: Optional[int] = None,
+               backend=None,
                grace: Optional[float] = None,
                observe=None) -> DurableFlowRun:
     """Continue an interrupted durable run from its journal.
@@ -227,7 +234,8 @@ def resume_run(run_id: str, *,
     evicted entries are simply recomputed); at most the killed
     invocation's in-flight tasks are repeated.
     """
-    engine = _resolve_durable_engine(engine, cache_dir, max_workers)
+    engine = _resolve_durable_engine(engine, cache_dir, max_workers,
+                                     backend)
     state = load_run(engine.cache.cache_dir, run_id)
     if state.flow is None:
         raise ReproError(

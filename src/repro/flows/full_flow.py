@@ -22,7 +22,12 @@ from repro.cells.netlist_builder import Parasitics
 from repro.cells.variants import DeviceVariant
 from repro.deprecation import absorb_positional, absorb_renamed, \
     warn_deprecated
-from repro.engine import Engine, RunManifest, default_engine
+from repro.engine import (
+    Engine,
+    RunManifest,
+    backend_for_workers,
+    default_engine,
+)
 from repro.engine.pipeline import (
     cell_ppa_tasks,
     extraction_tasks,
@@ -88,8 +93,9 @@ def _resolve_engine(engine: Optional[Engine],
     if max_workers is not None:
         warn_deprecated(
             "max_workers= is deprecated and will be removed in 1.3; pass "
-            "engine=Engine(max_workers=...) instead", stacklevel=4)
-        return Engine(max_workers=max_workers, cache=default_engine().cache)
+            "engine=Engine(backend='pool:N') instead", stacklevel=4)
+        return Engine(backend=backend_for_workers(max_workers),
+                      cache=default_engine().cache)
     return default_engine()
 
 

@@ -10,7 +10,7 @@ without any explicit parent plumbing.
 Cross-process nesting works by *export and merge*: a pool worker runs
 its task under a fresh tracer, ships the recorded spans and a metrics
 snapshot back with the task result, and the parent re-roots them under
-the task's parent-side span (see ``Engine._run_parallel``).  Span ids
+the task's parent-side span (see ``repro.engine.scheduler``).  Span ids
 are ``"<pid>-<seq>"`` strings, so ids from different workers can never
 collide in the merged stream.
 

@@ -142,14 +142,17 @@ def _engine_section(result: FullFlowResult) -> List[str]:
         return []
     summary = result.manifest.summary()
     lines = ["## Execution engine run manifest", ""]
+    backend = (f", backend={summary['backend']}" if summary.get("backend")
+               else "")
     lines.append(f"* {summary['tasks']} tasks: {summary['cache_hits']} "
                  f"cache hits, {summary['computed']} computed "
                  f"({summary['total_wall_time']:.1f}s wall, "
-                 f"max_workers={summary['max_workers']}).")
+                 f"max_workers={summary['max_workers']}{backend}).")
     for stage, row in summary["stages"].items():
         lines.append(f"  * `{stage}`: {row['tasks']} tasks, "
                      f"{row['hits']} hit / {row['computed']} computed, "
-                     f"{row['wall_time']:.1f}s task time.")
+                     f"{row['wall_span']:.1f}s span "
+                     f"({row['task_seconds']:.1f}s task time).")
     lines.append("")
     return lines
 

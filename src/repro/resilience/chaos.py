@@ -70,6 +70,7 @@ def flow_argv(cells: Sequence[str] = ("INV1X1",),
               run_id: Optional[str] = None,
               resume: Optional[str] = None,
               workers: Optional[int] = None,
+              backend: Optional[str] = None,
               extra: Sequence[str] = ()) -> List[str]:
     """``python -m repro.flows ...`` argv for a (small) chaos flow."""
     argv = [sys.executable, "-m", "repro.flows"]
@@ -84,6 +85,8 @@ def flow_argv(cells: Sequence[str] = ("INV1X1",),
             argv += ["--run-id", run_id]
     if workers is not None:
         argv += ["--workers", str(workers)]
+    if backend is not None:
+        argv += ["--backend", backend]
     argv += list(extra)
     return argv
 

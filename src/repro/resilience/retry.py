@@ -37,9 +37,10 @@ class RetryPolicy:
     backoff_cap:
         Upper bound on any single backoff delay [s].
     timeout:
-        Per-task wall-time budget [s]; ``None`` disables.  Enforced by
-        the parallel executor (which can kill and rebuild the pool);
-        serial runs cannot preempt a running compute function.
+        Per-task wall-time budget [s]; ``None`` disables.  Enforced on
+        preemption-capable backends (the pool kills and respawns the
+        overdue worker); in-process backends cannot preempt a running
+        compute function.
     """
 
     retries: int = 0

@@ -19,7 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.engine import Engine
+from repro.engine import Engine, backend_for_workers
 from repro.verify.goldens import GoldenStore
 from repro.verify.suites import SUITES, run_suite
 
@@ -51,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="engine width for pipeline measurements (default: auto)")
     parser.add_argument(
+        "--backend", default=None,
+        help="execution backend for pipeline measurements: serial, "
+             "pool, pool:N or workqueue (default REPRO_BACKEND)")
+    parser.add_argument(
         "--parity-modes", metavar="MODES", default=None,
         help="comma-separated parity matrix modes to run (only "
              "meaningful with a suite that includes parity; e.g. "
@@ -75,8 +79,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     store = GoldenStore(root=options.goldens,
                         update=options.update_goldens,
                         allow_widen=options.allow_widen)
-    engine = Engine(max_workers=options.workers) \
-        if options.workers is not None else None
+    backend = options.backend
+    if backend is None and options.workers is not None:
+        backend = backend_for_workers(options.workers)
+    elif backend == "pool" and options.workers is not None:
+        backend = f"pool:{options.workers}"
+    engine = Engine(backend=backend) if backend is not None else None
     observe = None
     if options.trace:
         from repro.observe import Tracer

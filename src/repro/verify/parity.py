@@ -49,6 +49,9 @@ class ParityCell:
         Matrix-cell identifier (``parity.<mode>``).
     max_workers:
         Engine width (1 = serial path, >1 = process pool).
+    backend:
+        Explicit execution-backend spec (``"serial"``, ``"pool:N"``,
+        ``"workqueue"``); overrides :attr:`max_workers` when set.
     warm_from:
         Name of the matrix cell whose disk cache this run reuses
         (None = cold: a fresh cache directory).
@@ -69,13 +72,17 @@ class ParityCell:
         :mod:`repro.resilience.chaos`): ``"kill-resume"`` SIGKILLs a
         journalled CLI run at a task boundary and resumes it;
         ``"concurrent"`` runs two invocations against one shared cache
-        (and additionally requires zero quarantined entries).
+        (and additionally requires zero quarantined entries);
+        ``"workqueue"`` runs two ``--backend workqueue`` invocations
+        that cooperatively drain one task graph through filesystem
+        leases (also requires zero quarantined entries).
         ``None`` = plain in-process mode.
     """
 
     name: str
     description: str
     max_workers: int = 1
+    backend: Optional[str] = None
     warm_from: Optional[str] = None
     traced: bool = False
     faults: Optional[str] = None
@@ -133,6 +140,22 @@ PARITY_MATRIX: Tuple[ParityCell, ...] = (
                     "directory (bit-identical, zero quarantined "
                     "entries)",
         chaos="concurrent"),
+    ParityCell(
+        name="backend-pool",
+        description="explicit warm-worker pool backend (pool:2), "
+                    "fresh cache",
+        max_workers=2, backend="pool:2"),
+    ParityCell(
+        name="backend-warm",
+        description="pool replay from the backend-pool disk cache "
+                    "(persistent workers, all hits)",
+        max_workers=2, backend="pool:2", warm_from="backend-pool"),
+    ParityCell(
+        name="backend-workqueue",
+        description="two work-queue CLI invocations cooperatively "
+                    "draining one graph through filesystem leases "
+                    "(bit-identical, zero quarantined entries)",
+        backend="workqueue", chaos="workqueue"),
 )
 
 #: Modes of the fast suite (one representative per mechanism).
@@ -218,7 +241,27 @@ def _run_chaos_mode(cell: ParityCell, cache_dir: Path,
         # Resume in-process (no faults) — journalled graph, same keys.
         return resume_run(
             run_id,
-            engine=Engine(max_workers=1, cache_dir=cache_dir)).result
+            engine=Engine(backend="serial", cache_dir=cache_dir)).result
+    if cell.chaos == "workqueue":
+        env = chaos.repro_env(cache_dir)
+        argvs = [chaos.flow_argv(run_id=f"parity-wq-{i}",
+                                 backend="workqueue", **argv_kwargs)
+                 for i in (1, 2)]
+        outcomes = chaos.run_concurrent_flows(argvs, env)
+        bad = [o for o in outcomes if o.returncode != 0]
+        if bad:
+            raise ReproError(
+                f"{len(bad)} work-queue invocation(s) failed "
+                f"(exit {bad[0].returncode}): {bad[0].stderr[-300:]}")
+        quarantined = ArtifactCache(cache_dir=cache_dir).quarantined()
+        if quarantined:
+            raise ReproError(
+                f"shared cache has {len(quarantined)} quarantined "
+                f"entries after work-queue runs: {quarantined[:3]}")
+        # Warm in-process replay from the cooperatively built cache.
+        return run_full_flow(
+            engine=Engine(backend="serial", cache_dir=cache_dir),
+            **flow_kwargs)
     if cell.chaos == "concurrent":
         env = chaos.repro_env(cache_dir)
         argvs = [chaos.flow_argv(run_id=f"parity-conc-{i}", workers=1,
@@ -237,7 +280,7 @@ def _run_chaos_mode(cell: ParityCell, cache_dir: Path,
         # Warm in-process replay: every artefact must come from the
         # cache the two invocations co-populated.
         return run_full_flow(
-            engine=Engine(max_workers=1, cache_dir=cache_dir),
+            engine=Engine(backend="serial", cache_dir=cache_dir),
             **flow_kwargs)
     raise ReproError(f"unknown chaos scenario {cell.chaos!r}")
 
@@ -249,8 +292,10 @@ def _run_mode(cell: ParityCell, cache_dir: Path,
     from repro.observe import Tracer
     if cell.chaos is not None:
         return _run_chaos_mode(cell, cache_dir, flow_kwargs)
+    backend = cell.backend or ("serial" if cell.max_workers == 1
+                               else f"pool:{cell.max_workers}")
     engine = Engine(
-        max_workers=cell.max_workers, cache_dir=cache_dir,
+        backend=backend, cache_dir=cache_dir,
         retry_policy=RetryPolicy(retries=cell.retries, backoff=0.0))
     injector = (FaultInjector.parse(cell.faults)
                 if cell.faults else None)

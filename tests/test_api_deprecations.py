@@ -166,5 +166,52 @@ def test_new_keyword_shapes_do_not_warn(monkeypatch, recwarn):
                 if issubclass(w.category, DeprecationWarning)]
 
 
+# ----------------------------------------------------------------------
+# Engine(max_workers=) / REPRO_MAX_WORKERS -> backends (1.5)
+# ----------------------------------------------------------------------
+def test_engine_max_workers_warns_but_works():
+    from repro.engine import SerialBackend
+    with pytest.warns(DeprecationWarning, match="backend="):
+        engine = repro.Engine(max_workers=1, use_disk=False)
+    assert isinstance(engine.backend, SerialBackend)
+    assert engine.max_workers == 1
+
+
+def test_engine_max_workers_multi_maps_to_pool():
+    from repro.engine import PoolBackend
+    with pytest.warns(DeprecationWarning, match="backend="):
+        engine = repro.Engine(max_workers=3, use_disk=False)
+    try:
+        assert isinstance(engine.backend, PoolBackend)
+        assert engine.max_workers == 3
+    finally:
+        engine.shutdown()
+
+
+def test_repro_max_workers_env_warns(monkeypatch):
+    from repro.engine import SerialBackend
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "1")
+    with pytest.warns(DeprecationWarning, match="REPRO_BACKEND"):
+        engine = repro.Engine(use_disk=False)
+    assert isinstance(engine.backend, SerialBackend)
+
+
+def test_explicit_backend_silences_max_workers_env(monkeypatch, recwarn):
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "3")
+    engine = repro.Engine(backend="serial", use_disk=False)
+    assert engine.max_workers == 1
+    assert not [w for w in recwarn
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_backend_env_selects_backend(monkeypatch, recwarn):
+    from repro.engine import SerialBackend
+    monkeypatch.setenv("REPRO_BACKEND", "serial")
+    engine = repro.Engine(use_disk=False)
+    assert isinstance(engine.backend, SerialBackend)
+    assert not [w for w in recwarn
+                if issubclass(w.category, DeprecationWarning)]
+
+
 def test_version_bumped():
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"

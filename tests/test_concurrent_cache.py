@@ -36,7 +36,7 @@ register_stage("toy_conc", version=1, compute=compute,
 cache_dir, out_path = sys.argv[1], sys.argv[2]
 tasks = [Task(id=f"t{i}", stage="toy_conc", payload={"value": i})
          for i in range(12)]
-engine = Engine(max_workers=1, cache_dir=cache_dir)
+engine = Engine(backend="serial", cache_dir=cache_dir)
 run = engine.run(tasks)
 stats = engine.cache.stats()
 stats["results"] = {t.id: run[t.id] for t in tasks}

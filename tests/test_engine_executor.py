@@ -34,7 +34,8 @@ def _toy_stages():
 
 
 def _engine(tmp_path, workers=1):
-    return Engine(max_workers=workers, cache_dir=tmp_path)
+    backend = "serial" if workers == 1 else f"pool:{workers}"
+    return Engine(backend=backend, cache_dir=tmp_path)
 
 
 def test_single_task(tmp_path):
@@ -151,8 +152,8 @@ def test_parallel_run_matches_serial(tmp_path):
              for i in range(6)]
     tasks.append(Task(id="sum", stage="toy_add", payload={"value": 0},
                       deps=tuple(f"t{i}" for i in range(6))))
-    serial = Engine(max_workers=1, cache_dir=tmp_path / "s").run(tasks)
-    parallel = Engine(max_workers=4, cache_dir=tmp_path / "p").run(tasks)
+    serial = Engine(backend="serial", cache_dir=tmp_path / "s").run(tasks)
+    parallel = Engine(backend="pool:4", cache_dir=tmp_path / "p").run(tasks)
     assert serial.artifacts == parallel.artifacts
     assert parallel.manifest.max_workers == 4
 
@@ -191,7 +192,7 @@ def test_worker_count_resolution(monkeypatch):
 
 def test_default_engine_swap_and_reset():
     original = default_engine()
-    replacement = Engine(max_workers=1, use_disk=False)
+    replacement = Engine(backend="serial", use_disk=False)
     previous = set_default_engine(replacement)
     try:
         assert default_engine() is replacement

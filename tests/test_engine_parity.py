@@ -34,13 +34,13 @@ def _flow(engine, observe=None):
 @pytest.fixture(scope="module")
 def serial_cold(tmp_path_factory):
     cache_dir = tmp_path_factory.mktemp("serial")
-    result = _flow(Engine(max_workers=1, cache_dir=cache_dir))
+    result = _flow(Engine(backend="serial", cache_dir=cache_dir))
     return result, cache_dir
 
 
 @pytest.fixture(scope="module")
 def parallel_cold(tmp_path_factory):
-    return _flow(Engine(max_workers=4,
+    return _flow(Engine(backend="pool:4",
                         cache_dir=tmp_path_factory.mktemp("parallel")))
 
 
@@ -65,7 +65,7 @@ def test_cold_runs_computed_everything(serial_cold, parallel_cold):
 
 def test_warm_disk_cache_skips_all_tcad_and_extraction(serial_cold):
     serial, cache_dir = serial_cold
-    warm = _flow(Engine(max_workers=1, cache_dir=cache_dir))
+    warm = _flow(Engine(backend="serial", cache_dir=cache_dir))
     assert warm.manifest.hit_rate(STAGE_TARGETS) == 1.0
     assert warm.manifest.hit_rate(STAGE_EXTRACTION) == 1.0
     assert warm.manifest.hit_rate() == 1.0
@@ -76,7 +76,7 @@ def test_explicit_engine_width_shares_cache(serial_cold):
     # two engines over one cache directory must reuse each other's
     # artefacts regardless of the per-engine worker setting
     serial, cache_dir = serial_cold
-    warm = _flow(Engine(max_workers=4, cache_dir=cache_dir))
+    warm = _flow(Engine(backend="pool:4", cache_dir=cache_dir))
     assert warm.manifest.hit_rate() == 1.0
     assert warm.headline() == serial.headline()
 
@@ -84,7 +84,7 @@ def test_explicit_engine_width_shares_cache(serial_cold):
 @pytest.fixture(scope="module")
 def traced_serial(tmp_path_factory):
     tracer = Tracer()
-    result = _flow(Engine(max_workers=1,
+    result = _flow(Engine(backend="serial",
                           cache_dir=tmp_path_factory.mktemp("traced_s")),
                    observe=tracer)
     return result, tracer
@@ -93,7 +93,7 @@ def traced_serial(tmp_path_factory):
 @pytest.fixture(scope="module")
 def traced_parallel(tmp_path_factory):
     tracer = Tracer()
-    result = _flow(Engine(max_workers=4,
+    result = _flow(Engine(backend="pool:4",
                           cache_dir=tmp_path_factory.mktemp("traced_p")),
                    observe=tracer)
     return result, tracer

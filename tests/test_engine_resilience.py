@@ -57,9 +57,9 @@ def _graph():
 # ----------------------------------------------------------------------
 # on_error="continue"
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("workers", [1, 3])
-def test_continue_completes_independent_subgraphs(tmp_path, workers):
-    engine = Engine(max_workers=workers, cache_dir=tmp_path,
+@pytest.mark.parametrize("backend", ["serial", "pool:3"])
+def test_continue_completes_independent_subgraphs(tmp_path, backend):
+    engine = Engine(backend=backend, cache_dir=tmp_path,
                     on_error="continue")
     run = engine.run(_graph())
     assert run["a"] == 1 and run["d"] == 100
@@ -76,13 +76,13 @@ def test_continue_completes_independent_subgraphs(tmp_path, workers):
 
 
 def test_raise_mode_still_propagates_original_error(tmp_path):
-    engine = Engine(max_workers=1, cache_dir=tmp_path)   # default: raise
+    engine = Engine(backend="serial", cache_dir=tmp_path)   # default: raise
     with pytest.raises(RuntimeError, match="boom"):
         engine.run(_graph())
 
 
 def test_per_run_on_error_override(tmp_path):
-    engine = Engine(max_workers=1, cache_dir=tmp_path, on_error="continue")
+    engine = Engine(backend="serial", cache_dir=tmp_path, on_error="continue")
     with pytest.raises(RuntimeError, match="boom"):
         engine.run(_graph(), on_error="raise")
     run = engine.run(_graph())
@@ -91,14 +91,14 @@ def test_per_run_on_error_override(tmp_path):
 
 def test_invalid_on_error_rejected(tmp_path):
     with pytest.raises(ReproError, match="on_error"):
-        Engine(max_workers=1, cache_dir=tmp_path, on_error="explode")
-    engine = Engine(max_workers=1, cache_dir=tmp_path)
+        Engine(backend="serial", cache_dir=tmp_path, on_error="explode")
+    engine = Engine(backend="serial", cache_dir=tmp_path)
     with pytest.raises(ReproError, match="on_error"):
         engine.run([], on_error="explode")
 
 
 def test_manifest_render_shows_failures(tmp_path):
-    engine = Engine(max_workers=1, cache_dir=tmp_path, on_error="continue")
+    engine = Engine(backend="serial", cache_dir=tmp_path, on_error="continue")
     run = engine.run(_graph())
     text = run.manifest.render()
     assert "1 failed / 1 skipped" in text
@@ -108,7 +108,7 @@ def test_manifest_render_shows_failures(tmp_path):
 
 def test_manifest_failure_roundtrip(tmp_path):
     from repro.engine import RunManifest
-    engine = Engine(max_workers=1, cache_dir=tmp_path, on_error="continue")
+    engine = Engine(backend="serial", cache_dir=tmp_path, on_error="continue")
     run = engine.run(_graph())
     restored = RunManifest.from_dict(run.manifest.to_dict())
     assert [f.task_id for f in restored.failed()] == ["b"]
@@ -120,7 +120,7 @@ def test_manifest_failure_roundtrip(tmp_path):
 # ----------------------------------------------------------------------
 def test_serial_retry_succeeds_after_transient_faults(tmp_path):
     install(FaultInjector.parse("stage_exc:toy_add:first=2"))
-    engine = Engine(max_workers=1, cache_dir=tmp_path,
+    engine = Engine(backend="serial", cache_dir=tmp_path,
                     retry_policy=RetryPolicy(retries=3, backoff=0.0))
     run = engine.run([Task(id="a", stage="toy_add", payload={"value": 5})])
     assert run["a"] == 5
@@ -130,7 +130,7 @@ def test_serial_retry_succeeds_after_transient_faults(tmp_path):
 
 def test_serial_retries_exhausted_records_failure(tmp_path):
     install(FaultInjector.parse("stage_exc:toy_add"))
-    engine = Engine(max_workers=1, cache_dir=tmp_path,
+    engine = Engine(backend="serial", cache_dir=tmp_path,
                     retry_policy=RetryPolicy(retries=1, backoff=0.0),
                     on_error="continue")
     run = engine.run([Task(id="a", stage="toy_add", payload={"value": 5})])
@@ -140,7 +140,7 @@ def test_serial_retries_exhausted_records_failure(tmp_path):
 
 def test_parallel_retry_succeeds_after_transient_faults(tmp_path):
     install(FaultInjector.parse("stage_exc:toy_add:first=1"))
-    engine = Engine(max_workers=2, cache_dir=tmp_path,
+    engine = Engine(backend="pool:2", cache_dir=tmp_path,
                     retry_policy=RetryPolicy(retries=2, backoff=0.0))
     run = engine.run([Task(id="a", stage="toy_add", payload={"value": 1}),
                       Task(id="b", stage="toy_add", payload={"value": 2})])
@@ -150,7 +150,7 @@ def test_parallel_retry_succeeds_after_transient_faults(tmp_path):
 
 def test_env_retries_are_picked_up(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_TASK_RETRIES", "4")
-    engine = Engine(max_workers=1, cache_dir=tmp_path)
+    engine = Engine(backend="serial", cache_dir=tmp_path)
     assert engine.retry_policy.retries == 4
 
 
@@ -158,7 +158,7 @@ def test_env_retries_are_picked_up(tmp_path, monkeypatch):
 # same-key duplicates must share the failure, not deadlock
 # ----------------------------------------------------------------------
 def test_same_key_failure_propagates_to_parked_duplicate(tmp_path):
-    engine = Engine(max_workers=2, cache_dir=tmp_path, on_error="continue")
+    engine = Engine(backend="pool:2", cache_dir=tmp_path, on_error="continue")
     run = engine.run([Task(id="x1", stage="toy_fail", payload=None),
                       Task(id="x2", stage="toy_fail", payload=None),
                       Task(id="ok", stage="toy_add", payload={"value": 7})])
@@ -167,7 +167,7 @@ def test_same_key_failure_propagates_to_parked_duplicate(tmp_path):
 
 
 def test_same_key_failure_propagates_serially(tmp_path):
-    engine = Engine(max_workers=1, cache_dir=tmp_path, on_error="continue")
+    engine = Engine(backend="serial", cache_dir=tmp_path, on_error="continue")
     run = engine.run([Task(id="x1", stage="toy_fail", payload=None),
                       Task(id="x2", stage="toy_fail", payload=None)])
     assert set(run.failed) == {"x1", "x2"}
@@ -179,10 +179,10 @@ def test_same_key_failure_propagates_serially(tmp_path):
 def test_worker_kill_recovers_with_identical_artifacts(tmp_path):
     tasks = [Task(id=f"t{i}", stage="toy_add", payload={"value": i})
              for i in range(5)]
-    reference = Engine(max_workers=3, cache_dir=tmp_path / "ref").run(tasks)
+    reference = Engine(backend="pool:3", cache_dir=tmp_path / "ref").run(tasks)
 
     install(FaultInjector.parse("worker_kill:toy_add:n=1"))
-    engine = Engine(max_workers=3, cache_dir=tmp_path / "faulty")
+    engine = Engine(backend="pool:3", cache_dir=tmp_path / "faulty")
     run = engine.run(tasks)
     clear_faults()
 
@@ -198,7 +198,7 @@ def test_worker_kill_recovers_with_identical_artifacts(tmp_path):
 
 def test_repeated_worker_kills_exhaust_crash_budget(tmp_path):
     install(FaultInjector.parse("worker_kill:toy_fail:first=99"))
-    engine = Engine(max_workers=2, cache_dir=tmp_path, on_error="continue")
+    engine = Engine(backend="pool:2", cache_dir=tmp_path, on_error="continue")
     # Two same-key victims: one is in flight and keeps killing its
     # worker, the other stays parked behind the duplicate key — when
     # the crash budget runs out both must fail (no deadlock).
@@ -211,7 +211,7 @@ def test_repeated_worker_kills_exhaust_crash_budget(tmp_path):
 
 
 def test_task_timeout_fails_and_spares_the_rest(tmp_path):
-    engine = Engine(max_workers=2, cache_dir=tmp_path, on_error="continue",
+    engine = Engine(backend="pool:2", cache_dir=tmp_path, on_error="continue",
                     retry_policy=RetryPolicy(retries=0, timeout=0.4))
     run = engine.run([
         Task(id="slow", stage="toy_nap", payload={"seconds": 30.0}),
@@ -223,7 +223,7 @@ def test_task_timeout_fails_and_spares_the_rest(tmp_path):
 
 
 def test_task_timeout_burns_retry_attempts(tmp_path):
-    engine = Engine(max_workers=2, cache_dir=tmp_path, on_error="continue",
+    engine = Engine(backend="pool:2", cache_dir=tmp_path, on_error="continue",
                     retry_policy=RetryPolicy(retries=1, backoff=0.01,
                                              timeout=0.3))
     run = engine.run([
@@ -243,12 +243,12 @@ def test_rerun_recomputes_only_the_failed_subgraph(tmp_path):
         Task(id="b", stage="toy_add", payload={"value": 10}, deps=("a",)),
         Task(id="c", stage="toy_add", payload={"value": 100}),
     ]
-    reference = Engine(max_workers=1, cache_dir=tmp_path / "ref").run(tasks)
+    reference = Engine(backend="serial", cache_dir=tmp_path / "ref").run(tasks)
 
     # Serial draws happen in topological order, so first=1 fails "a"
     # (and skips its dependent "b") while "c" completes.
     install(FaultInjector.parse("stage_exc:toy_add:first=1"))
-    engine = Engine(max_workers=1, cache_dir=tmp_path / "cache",
+    engine = Engine(backend="serial", cache_dir=tmp_path / "cache",
                     on_error="continue")
     first = engine.run(tasks)
     clear_faults()

@@ -124,7 +124,7 @@ def test_resume_alias_rewrite_keeps_options():
 @pytest.mark.slow
 def test_top_level_resume_alias(tmp_path, monkeypatch, capsys):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    monkeypatch.setenv("REPRO_MAX_WORKERS", "1")
+    monkeypatch.setenv("REPRO_BACKEND", "serial")
     from repro.engine import reset_default_engine
     reset_default_engine()
     try:
