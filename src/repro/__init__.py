@@ -14,6 +14,8 @@ The package rebuilds the paper's whole tool chain in Python:
   every expensive artefact is produced and cached through,
 * :mod:`repro.observe` — span tracing, metrics and trace exports,
 * :mod:`repro.flows` — one-call end-to-end pipeline,
+* :mod:`repro.serve` — multi-tenant characterisation service
+  (admission control, deadlines, request coalescing, graceful drain),
 * :mod:`repro.reporting` — regeneration of every table and figure.
 
 Quickstart (1.2 API — keyword-only, engine-first)::
@@ -65,7 +67,7 @@ from repro.ppa.runner import DEFAULT_DT, PpaRunner
 from repro.resilience import FaultInjector, RetryPolicy
 from repro.tcad.device import Polarity, design_for_variant
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ChannelCount",

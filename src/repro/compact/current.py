@@ -24,6 +24,13 @@ VA_BASE = 4.0
 #: Smoothing voltage for the Vdseff clamp [V].
 DELTA_VDSEFF = 0.01
 
+#: Below this |Vds| [V] the textbook Vdseff expression loses all its
+#: significant bits (it subtracts two O(Vdsat) numbers agreeing to
+#: ~eps*Vdsat ~ 1e-17 V) and is evaluated through the conjugate form
+#: instead.  Above it the textbook form is accurate to <~1e-5 relative
+#: and is kept bit-for-bit so committed goldens stay byte-identical.
+VDS_CONJUGATE_SWITCH = 1e-12
+
 #: Leakage floor per unit width [A/m] (SRH generation surrogate).
 LEAKAGE_PER_WIDTH = 1.2e-7
 
@@ -45,14 +52,26 @@ def saturation_voltage(vgsteff, esat_l, vt: float) -> np.ndarray:
 
 
 def effective_vds(vds, vdsat) -> np.ndarray:
-    """Smooth minimum of Vds and Vdsat (BSIM Vdseff)."""
+    """Smooth minimum of Vds and Vdsat (BSIM Vdseff).
+
+    The textbook form ``vdsat - (diff + sqrt(diff^2 + 4 delta
+    vdsat)) / 2`` subtracts two nearly equal O(vdsat) numbers when
+    ``vds << eps * vdsat``, rounding Vdseff (hence Ids) to zero and
+    breaking monotonicity in Vgs at vanishing drain bias.  Its exact
+    algebraic conjugate ``2 vdsat vds / (vdsat + vds + delta + root)``
+    keeps every term positive and stays accurate down to denormal Vds,
+    so it takes over below :data:`VDS_CONJUGATE_SWITCH`.
+    """
     vds = np.asarray(vds, dtype=float)
     vdsat = np.asarray(vdsat, dtype=float)
     delta = DELTA_VDSEFF
     diff = vdsat - vds - delta
-    smooth = vdsat - 0.5 * (diff +
-                            np.sqrt(diff * diff + 4.0 * delta * vdsat))
-    # Exactly zero at vds = 0 analytically; clamp the float residual.
+    root = np.sqrt(diff * diff + 4.0 * delta * vdsat)
+    smooth = vdsat - 0.5 * (diff + root)
+    conjugate = 2.0 * vdsat * vds / (vdsat + vds + delta + root)
+    smooth = np.where(np.abs(vds) < VDS_CONJUGATE_SWITCH,
+                      conjugate, smooth)
+    # Exactly zero at vds = 0; negative vds clamps to 0.
     return np.maximum(smooth, 0.0)
 
 

@@ -45,6 +45,7 @@ from repro.engine.backends.base import (
     TaskResult,
     run_stage_inline,
 )
+from repro.config import resolve_float
 from repro.engine.locks import FileLock
 from repro.errors import ReproError
 
@@ -62,21 +63,15 @@ IDLE_POLL_S = 0.05
 
 
 def resolve_lease_ttl(ttl: Optional[float] = None) -> float:
-    """Lease TTL: explicit > ``REPRO_LEASE_TTL`` > default."""
-    if ttl is not None:
-        return float(ttl)
-    env = os.environ.get(LEASE_TTL_ENV)
-    if env:
-        try:
-            value = float(env)
-        except ValueError:
-            raise ReproError(f"{LEASE_TTL_ENV} must be a number, "
-                             f"got {env!r}") from None
-        if value <= 0:
-            raise ReproError(f"{LEASE_TTL_ENV} must be positive, "
-                             f"got {env!r}")
-        return value
-    return DEFAULT_LEASE_TTL
+    """Lease TTL: explicit > ``REPRO_LEASE_TTL`` > default.
+
+    Zero, negative, NaN, infinite and non-numeric values (explicit or
+    from the environment) are rejected up front — a bad TTL would make
+    every held lease look permanently wedged (or never wedged) to the
+    takeover logic.
+    """
+    return resolve_float(LEASE_TTL_ENV, DEFAULT_LEASE_TTL, ttl,
+                         positive=True)
 
 
 class _Lease:

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, IO, List, Optional, Set
 
+from repro.config import require_finite_float, resolve_float
 from repro.errors import ReproError
 
 #: Environment variable bounding the shutdown drain window [s].
@@ -347,21 +348,13 @@ def expire_runs(cache_dir: os.PathLike,
 # graceful shutdown
 # ----------------------------------------------------------------------
 def resolve_shutdown_grace(grace: Optional[float] = None) -> float:
-    """Drain window: explicit > ``REPRO_SHUTDOWN_GRACE`` > default."""
-    if grace is not None:
-        return float(grace)
-    env = os.environ.get(SHUTDOWN_GRACE_ENV)
-    if env:
-        try:
-            value = float(env)
-        except ValueError:
-            raise ReproError(f"{SHUTDOWN_GRACE_ENV} must be a number, "
-                             f"got {env!r}") from None
-        if value < 0:
-            raise ReproError(f"{SHUTDOWN_GRACE_ENV} must be >= 0, "
-                             f"got {env!r}")
-        return value
-    return DEFAULT_SHUTDOWN_GRACE
+    """Drain window: explicit > ``REPRO_SHUTDOWN_GRACE`` > default.
+
+    Zero is allowed (drain nothing, stop immediately); negative, NaN,
+    infinite and non-numeric values are rejected up front.
+    """
+    return resolve_float(SHUTDOWN_GRACE_ENV, DEFAULT_SHUTDOWN_GRACE,
+                         grace, minimum=0.0)
 
 
 class CancellationToken:
@@ -369,30 +362,68 @@ class CancellationToken:
 
     ``grace`` is how long the engine may keep draining in-flight tasks
     after the token is set before it kills the pool.
+
+    A token can also carry a *deadline*: an absolute ``time.monotonic``
+    instant after which the token counts as set without anyone calling
+    :meth:`request`.  This is how an external caller (the
+    characterisation service, a batch wrapper) bounds a run's wall
+    time — the engine observes expiry at the next task boundary and
+    winds the run down exactly like a signal would, except the drain
+    grace collapses to zero (the budget is already spent).
     """
 
-    def __init__(self, grace: Optional[float] = None):
+    def __init__(self, grace: Optional[float] = None,
+                 deadline: Optional[float] = None):
         self.grace = resolve_shutdown_grace(grace)
         self._event = threading.Event()
         self.signum: Optional[int] = None
+        #: Absolute ``time.monotonic`` expiry, or ``None`` for no bound.
+        self.deadline = deadline
+        self._reason: Optional[str] = None
 
-    def request(self, signum: Optional[int] = None) -> None:
+    def request(self, signum: Optional[int] = None,
+                reason: Optional[str] = None) -> None:
         """Set the token (idempotent)."""
         if self.signum is None:
             self.signum = signum
+        if self._reason is None:
+            self._reason = reason
         self._event.set()
 
+    def set_deadline(self, seconds_from_now: float) -> None:
+        """Arm (or tighten) the expiry ``seconds_from_now`` ahead."""
+        require_finite_float("deadline", seconds_from_now, minimum=0.0)
+        expiry = time.monotonic() + seconds_from_now
+        if self.deadline is None or expiry < self.deadline:
+            self.deadline = expiry
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline (if any) has passed."""
+        return (self.deadline is not None
+                and time.monotonic() >= self.deadline)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until expiry (>= 0), or ``None`` for no deadline."""
+        if self.deadline is None:
+            return None
+        return max(self.deadline - time.monotonic(), 0.0)
+
     def is_set(self) -> bool:
-        return self._event.is_set()
+        return self._event.is_set() or self.expired
 
     @property
     def reason(self) -> str:
-        if self.signum is None:
-            return "cancelled"
-        try:
-            return signal.Signals(self.signum).name
-        except ValueError:  # pragma: no cover - unnamed signal
-            return f"signal {self.signum}"
+        if self._reason is not None:
+            return self._reason
+        if self.signum is not None:
+            try:
+                return signal.Signals(self.signum).name
+            except ValueError:  # pragma: no cover - unnamed signal
+                return f"signal {self.signum}"
+        if self.expired and not self._event.is_set():
+            return "deadline"
+        return "cancelled"
 
 
 class GracefulShutdown:

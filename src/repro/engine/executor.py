@@ -314,7 +314,8 @@ class Engine:
     def run(self, tasks: Sequence[Task],
             on_error: Optional[str] = None, *,
             journal: Optional[RunJournal] = None,
-            cancellation: Optional[CancellationToken] = None) -> EngineRun:
+            cancellation: Optional[CancellationToken] = None,
+            deadline: Optional[float] = None) -> EngineRun:
         """Materialise every task's artefact, cheapest way available.
 
         ``on_error`` overrides the engine default for this run (see the
@@ -330,7 +331,17 @@ class Engine:
         token's grace window and raises
         :class:`~repro.errors.RunInterrupted` carrying the partial
         manifest (``status == "interrupted"``).
+
+        ``deadline`` bounds the run's wall time in seconds: it arms
+        (or tightens) the cancellation token's deadline, so an
+        overrunning run stops at the next task boundary instead of
+        holding a worker forever.  Artefacts finished before expiry
+        stay journalled and cached — a retry resumes, not restarts.
         """
+        if deadline is not None:
+            if cancellation is None:
+                cancellation = CancellationToken()
+            cancellation.set_deadline(deadline)
         if on_error is None:
             on_error = self.on_error
         if on_error not in ON_ERROR_MODES:

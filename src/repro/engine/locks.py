@@ -23,7 +23,8 @@ import time
 from pathlib import Path
 from typing import Optional
 
-from repro.errors import CacheLockTimeout, ReproError
+from repro.config import resolve_float
+from repro.errors import CacheLockTimeout
 from repro.observe import TIME_BUCKETS, get_tracer
 
 #: Environment variable bounding any single lock acquisition [s].
@@ -78,21 +79,15 @@ except ImportError:  # pragma: no cover - Windows
 
 
 def resolve_lock_timeout(timeout: Optional[float] = None) -> float:
-    """Lock timeout: explicit > ``REPRO_LOCK_TIMEOUT`` > default."""
-    if timeout is not None:
-        return float(timeout)
-    env = os.environ.get(LOCK_TIMEOUT_ENV)
-    if env:
-        try:
-            value = float(env)
-        except ValueError:
-            raise ReproError(f"{LOCK_TIMEOUT_ENV} must be a number, "
-                             f"got {env!r}") from None
-        if value <= 0:
-            raise ReproError(f"{LOCK_TIMEOUT_ENV} must be positive, "
-                             f"got {env!r}")
-        return value
-    return DEFAULT_LOCK_TIMEOUT
+    """Lock timeout: explicit > ``REPRO_LOCK_TIMEOUT`` > default.
+
+    Zero, negative, NaN, infinite and non-numeric values (explicit or
+    from the environment) are rejected up front — a bad bound here
+    would otherwise turn the ``flock`` wait loop into a spin that
+    never times out (NaN deadlines compare false forever).
+    """
+    return resolve_float(LOCK_TIMEOUT_ENV, DEFAULT_LOCK_TIMEOUT,
+                         timeout, positive=True)
 
 
 class FileLock:

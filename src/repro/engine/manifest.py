@@ -67,6 +67,9 @@ class TaskFailure:
     ``"skipped"`` (a dependency failed; ``upstream`` names it).
     ``traceback`` holds the tail of the formatted traceback — enough
     to triage without keeping whole stack dumps in every manifest.
+    ``code`` is the stable machine-readable error code (see
+    :func:`repro.errors.error_code`); clients use it to distinguish
+    retryable failures (timeouts, crashes) from permanent ones.
     """
 
     task_id: str
@@ -78,6 +81,8 @@ class TaskFailure:
     attempts: int = 0
     traceback: str = ""
     upstream: str = ""
+    code: str = ""
+    retryable: bool = False
 
 
 @dataclass

@@ -48,6 +48,7 @@ from repro.errors import (
     RunInterrupted,
     TaskTimeoutError,
     WorkerCrashError,
+    error_code,
 )
 from repro.observe import TIME_BUCKETS, get_tracer
 from repro.resilience.faults import draw_fault, kill_current_process
@@ -164,7 +165,9 @@ class Scheduler:
             task_id=task.id, stage=task.stage, key=key, status="failed",
             error_type=type(exc).__name__, message=str(exc),
             attempts=attempts,
-            traceback=traceback_text or _traceback_tail(exc))
+            traceback=traceback_text or _traceback_tail(exc),
+            code=error_code(exc),
+            retryable=isinstance(exc, ReproError) and exc.retryable)
         result.manifest.add_failure(failure)
         tracer = get_tracer()
         if tracer.enabled:
@@ -181,7 +184,8 @@ class Scheduler:
                     result) -> TaskFailure:
         failure = TaskFailure(
             task_id=task.id, stage=task.stage, key=key,
-            status="skipped", upstream=upstream)
+            status="skipped", upstream=upstream,
+            code="engine.task_skipped", retryable=True)
         result.manifest.add_failure(failure)
         tracer = get_tracer()
         if tracer.enabled:
@@ -497,6 +501,12 @@ class Scheduler:
                     release_flight(keys[task_id])
             grace = (self.cancellation.grace
                      if self.cancellation is not None else 0.0)
+            if (self.cancellation is not None
+                    and self.cancellation.expired):
+                # A deadline-expired run has no time budget left to
+                # drain into: abort in-flight work immediately (its
+                # journalled prefix is still resumable).
+                grace = 0.0
             deadline = time.monotonic() + grace
             while inflight and time.monotonic() < deadline:
                 step = max(0.0, min(0.1,
@@ -530,6 +540,10 @@ class Scheduler:
                         sleep_for = (min(sleep_for, FLIGHT_BLOCK_POLL_S)
                                      if sleep_for
                                      else FLIGHT_BLOCK_POLL_S)
+                    if self.cancellation is not None:
+                        remaining = self.cancellation.remaining()
+                        if remaining is not None:
+                            sleep_for = min(sleep_for, remaining)
                     if sleep_for > 0:
                         time.sleep(sleep_for)
                     submit_ready()
@@ -545,6 +559,11 @@ class Scheduler:
                 if flight_blocked:
                     timeout = (FLIGHT_BLOCK_POLL_S if timeout is None
                                else min(timeout, FLIGHT_BLOCK_POLL_S))
+                if self.cancellation is not None:
+                    remaining = self.cancellation.remaining()
+                    if remaining is not None:
+                        timeout = (remaining if timeout is None
+                                   else min(timeout, remaining))
                 results = backend.poll(timeout)
                 for res in sorted(results, key=lambda r: r.task_id):
                     handle_result(res)

@@ -32,6 +32,7 @@ from repro.cells.netlist_builder import Parasitics
 from repro.cells.variants import DeviceVariant
 from repro.engine import Engine, backend_for_workers, default_engine
 from repro.engine.durability import (
+    CancellationToken,
     GracefulShutdown,
     RunJournal,
     clear_active,
@@ -41,6 +42,7 @@ from repro.engine.durability import (
     run_dir,
     write_pins,
 )
+from repro.engine.fingerprint import fingerprint
 from repro.errors import ReproError, RunInterrupted
 from repro.flows.full_flow import (
     FullFlowResult,
@@ -71,12 +73,12 @@ class DurableFlowRun:
     resumed: int = 0
 
 
-def _flow_record(cells: List[str],
-                 cell_variants: List[DeviceVariant],
-                 channel_variants: List[ChannelCount],
-                 process: Optional[ProcessParameters],
-                 parasitics: Optional[Parasitics],
-                 dt: float) -> Dict[str, Any]:
+def flow_record(cells: List[str],
+                cell_variants: List[DeviceVariant],
+                channel_variants: List[ChannelCount],
+                process: Optional[ProcessParameters],
+                parasitics: Optional[Parasitics],
+                dt: float) -> Dict[str, Any]:
     """JSON-serialisable flow parameters for the journal's begin record.
 
     Everything that shapes the task graph goes in, so a resume rebuilds
@@ -93,7 +95,7 @@ def _flow_record(cells: List[str],
 
 
 def _flow_kwargs_from(record: Dict[str, Any]) -> Dict[str, Any]:
-    """Inverse of :func:`_flow_record` (journal -> graph-builder args)."""
+    """Inverse of :func:`flow_record` (journal -> graph-builder args)."""
     try:
         return {
             "cells": [str(c) for c in record["cells"]],
@@ -109,6 +111,18 @@ def _flow_kwargs_from(record: Dict[str, Any]) -> Dict[str, Any]:
     except (KeyError, ValueError, TypeError) as exc:
         raise ReproError(
             f"journalled flow record is unusable: {exc}") from exc
+
+
+def derive_run_id(flow: Dict[str, Any], prefix: str = "req") -> str:
+    """A deterministic run id for one flow description.
+
+    Identical requests map to the identical run id, which is what
+    makes server-side resume work with zero client bookkeeping: a
+    client that retries a timed-out or interrupted request lands on
+    the *same* journal, and the engine recomputes only what the
+    journal and the content-addressed cache did not preserve.
+    """
+    return f"{prefix}-{fingerprint(flow)[:16]}"
 
 
 def _resolve_durable_engine(engine: Optional[Engine],
@@ -144,6 +158,8 @@ def run_durable_flow(*,
                      backend=None,
                      run_id: Optional[str] = None,
                      grace: Optional[float] = None,
+                     cancellation: Optional[CancellationToken] = None,
+                     deadline: Optional[float] = None,
                      observe=None) -> DurableFlowRun:
     """Run the full pipeline durably; resume it by reusing ``run_id``.
 
@@ -155,6 +171,14 @@ def run_durable_flow(*,
     ``interrupted`` end record, saves the partial manifest and raises
     :class:`~repro.errors.RunInterrupted` — pass the same ``run_id``
     (or use :func:`resume_run` / the CLI) to continue it later.
+
+    ``cancellation`` hands control of interruption to the caller (the
+    characterisation service cancels per-request tokens instead of
+    installing signal handlers, which only work on the main thread);
+    when provided, no signal handlers are installed here.  ``deadline``
+    bounds the run's wall time in seconds — past it the run winds down
+    at the next task boundary and raises
+    :class:`~repro.errors.RunInterrupted` with the resumable run id.
     """
     engine = _resolve_durable_engine(engine, cache_dir, max_workers,
                                      backend)
@@ -167,7 +191,7 @@ def run_durable_flow(*,
     cell_variants = list(variants) if variants else list(DeviceVariant)
     channel_variants = (list(extraction_variants) if extraction_variants
                         else list(ChannelCount))
-    flow = _flow_record(cells, cell_variants, channel_variants,
+    flow = flow_record(cells, cell_variants, channel_variants,
                         process, parasitics, dt)
 
     resumed = 0
@@ -189,10 +213,19 @@ def run_durable_flow(*,
     write_pins(directory, engine.task_keys(graph).values())
 
     try:
-        with GracefulShutdown(grace) as shutdown:
+        if cancellation is not None:
+            # The caller owns interruption (per-request deadline/abort
+            # tokens of the service) — don't touch signal handlers.
             with maybe_activate(observe):
                 run = engine.run(graph, journal=journal,
-                                 cancellation=shutdown.token)
+                                 cancellation=cancellation,
+                                 deadline=deadline)
+        else:
+            with GracefulShutdown(grace) as shutdown:
+                with maybe_activate(observe):
+                    run = engine.run(graph, journal=journal,
+                                     cancellation=shutdown.token,
+                                     deadline=deadline)
     except RunInterrupted as exc:
         exc.run_id = run_id
         if exc.manifest is not None:
@@ -225,6 +258,8 @@ def resume_run(run_id: str, *,
                max_workers: Optional[int] = None,
                backend=None,
                grace: Optional[float] = None,
+               cancellation: Optional[CancellationToken] = None,
+               deadline: Optional[float] = None,
                observe=None) -> DurableFlowRun:
     """Continue an interrupted durable run from its journal.
 
@@ -252,4 +287,6 @@ def resume_run(run_id: str, *,
         engine=engine,
         run_id=run_id,
         grace=grace,
+        cancellation=cancellation,
+        deadline=deadline,
         observe=observe)

@@ -39,6 +39,7 @@ from repro.observe.export import (
 from repro.observe.metrics import (
     EVALUATION_BUCKETS,
     ITERATION_BUCKETS,
+    REQUEST_BUCKETS,
     TIME_BUCKETS,
     Counter,
     Gauge,
@@ -71,6 +72,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "REQUEST_BUCKETS",
     "Span",
     "TIME_BUCKETS",
     "TRACE_ENV",

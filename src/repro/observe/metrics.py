@@ -29,6 +29,13 @@ EVALUATION_BUCKETS: Tuple[float, ...] = (
 TIME_BUCKETS: Tuple[float, ...] = (
     1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0)
 
+#: Edges for request service-time histograms [s] — finer sub-second
+#: resolution than :data:`TIME_BUCKETS` (admission decisions and
+#: Retry-After hints key off these).
+REQUEST_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0, 300.0)
+
 
 class Counter:
     """Monotonic counter (floats allowed for accumulated quantities)."""
@@ -57,6 +64,15 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (unset counts as zero).
+
+        The natural instrument update for levels that rise and fall —
+        queue depth, in-flight requests — where callers know the
+        change, not the absolute value.
+        """
+        self.value = (self.value or 0.0) + float(delta)
 
     def to_dict(self) -> Dict[str, Any]:
         return {"type": "gauge", "value": self.value}

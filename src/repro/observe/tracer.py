@@ -156,6 +156,9 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         return None
 
+    def add(self, delta: float) -> None:
+        return None
+
     def observe(self, value: float) -> None:
         return None
 

@@ -1,0 +1,54 @@
+"""Fault-tolerant multi-tenant characterisation service.
+
+``python -m repro.serve`` turns the durable flow runner into a small
+stdlib-only HTTP/JSON service: bounded-queue admission control with
+measured ``Retry-After`` load shedding, per-tenant token-bucket quotas
+and cache namespaces, per-request deadlines propagated into the
+engine's cancellation token (504 answers carry a *resumable* run id),
+in-process request coalescing on top of the cache's cross-process
+single-flight, and a health ladder (``ok -> degraded -> draining``)
+that drains gracefully on SIGTERM.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    ServiceTimeEstimator,
+    TokenBucket,
+)
+from repro.serve.app import ServeApp, run_app
+from repro.serve.config import ServeConfig
+from repro.serve.deadlines import (
+    DEADLINE_HEADER,
+    deadline_token,
+    parse_deadline,
+)
+from repro.serve.handlers import (
+    CharacterizeRequest,
+    FlowRunner,
+    parse_body,
+    parse_characterize,
+)
+from repro.serve.tenants import (
+    DEFAULT_TENANT,
+    TenantRegistry,
+    validate_tenant_name,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CharacterizeRequest",
+    "DEADLINE_HEADER",
+    "DEFAULT_TENANT",
+    "FlowRunner",
+    "ServeApp",
+    "ServeConfig",
+    "ServiceTimeEstimator",
+    "TenantRegistry",
+    "TokenBucket",
+    "deadline_token",
+    "parse_body",
+    "parse_characterize",
+    "parse_deadline",
+    "run_app",
+    "validate_tenant_name",
+]

@@ -1,0 +1,63 @@
+"""Deadline propagation: request header -> engine cancellation token.
+
+The client states its patience in the ``X-Repro-Deadline`` header
+(seconds of wall time it will wait).  The service clamps it to
+``REPRO_SERVE_MAX_DEADLINE``, arms a
+:class:`~repro.engine.durability.CancellationToken` with the absolute
+expiry, and threads the token through the durable flow into the
+scheduler — which checks it at every task boundary, winds the run down
+with zero grace once expired, and journals an ``interrupted`` end
+record.  The 504 response carries the resumable ``run_id``: because
+run ids are derived from the request itself, a plain retry of the same
+request resumes the same journal and pays only for what the deadline
+cut short.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import require_finite_float
+from repro.engine.durability import CancellationToken
+from repro.errors import ConfigError, InvalidRequest
+
+#: Request header carrying the client's deadline [seconds of patience].
+DEADLINE_HEADER = "x-repro-deadline"
+
+
+def parse_deadline(header_value: Optional[str],
+                   default_deadline: float,
+                   max_deadline: float) -> Optional[float]:
+    """Resolve a request's deadline in seconds (``None`` = unbounded).
+
+    The header wins over the service default
+    (``REPRO_SERVE_DEADLINE``); either is clamped to
+    ``REPRO_SERVE_MAX_DEADLINE``.  A zero/absent value means "no
+    deadline" only when the service default is also unlimited.
+    """
+    if header_value is not None and header_value.strip():
+        try:
+            seconds = require_finite_float(
+                DEADLINE_HEADER, header_value.strip(), positive=True)
+        except ConfigError as exc:
+            raise InvalidRequest(
+                f"invalid {DEADLINE_HEADER} header: {exc}") from exc
+    elif default_deadline > 0:
+        seconds = default_deadline
+    else:
+        return None
+    return min(seconds, max_deadline)
+
+
+def deadline_token(deadline_s: Optional[float]) -> CancellationToken:
+    """A cancellation token armed with ``deadline_s`` (if bounded).
+
+    The token is per-request and owned by the service — no signal
+    handlers involved, so it works from worker threads.  Its
+    ``grace`` collapses to zero once the deadline expires (the
+    scheduler abandons in-flight work instead of waiting it out).
+    """
+    token = CancellationToken()
+    if deadline_s is not None:
+        token.set_deadline(deadline_s)
+    return token

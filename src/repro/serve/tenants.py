@@ -1,0 +1,119 @@
+"""Multi-tenancy: per-tenant quotas and isolated cache namespaces.
+
+A tenant is a short client-chosen identity (the ``X-Repro-Tenant``
+header; ``public`` when absent).  Each tenant gets
+
+* its own token bucket (one tenant flooding the service exhausts its
+  *own* quota, not the queue capacity other tenants rely on), and
+* its own cache namespace — ``<cache_root>/tenants/<name>`` — so
+  tenants cannot observe each other's artefacts (timing, presence) and
+  a poisoned cache entry stays contained to the tenant that wrote it.
+
+Names are restricted to ``[A-Za-z0-9_-]`` (max 64 chars) so a tenant
+header can never traverse out of the namespaces root.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from typing import Callable, Dict
+
+from repro.errors import InvalidRequest, QuotaExceeded
+from repro.serve.admission import TokenBucket
+
+#: Tenant used when the client sends no ``X-Repro-Tenant`` header.
+DEFAULT_TENANT = "public"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def validate_tenant_name(name: str) -> str:
+    """Normalise and validate a tenant identity from a request header."""
+    name = (name or "").strip() or DEFAULT_TENANT
+    if not _NAME_RE.match(name):
+        raise InvalidRequest(
+            "tenant names are 1-64 characters of [A-Za-z0-9_-] "
+            f"(got {name!r})")
+    return name
+
+
+class Tenant:
+    """One tenant's quota bucket and cache namespace."""
+
+    __slots__ = ("name", "bucket", "cache_dir", "requests_total",
+                 "rejected_total")
+
+    def __init__(self, name: str, bucket: TokenBucket, cache_dir: str):
+        self.name = name
+        self.bucket = bucket
+        self.cache_dir = cache_dir
+        self.requests_total = 0
+        self.rejected_total = 0
+
+
+class TenantRegistry:
+    """Lazily materialised tenants under one cache root.
+
+    ``charge`` is the per-request entry point: it validates the name,
+    creates the tenant on first sight (bucket starts full) and takes
+    one token — raising :class:`~repro.errors.QuotaExceeded` with the
+    exact wait until the next token when the bucket is dry.
+    """
+
+    def __init__(self, root: str, rps: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.root = root
+        self.rps = float(rps)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, Tenant] = {}
+
+    def get(self, name: str) -> Tenant:
+        """The tenant for ``name``, created (with namespace) on demand."""
+        name = validate_tenant_name(name)
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            with self._lock:
+                tenant = self._tenants.get(name)
+                if tenant is None:
+                    cache_dir = os.path.join(self.root, name)
+                    os.makedirs(cache_dir, exist_ok=True)
+                    tenant = Tenant(
+                        name,
+                        TokenBucket(self.rps, self.burst,
+                                    clock=self._clock),
+                        cache_dir)
+                    self._tenants[name] = tenant
+        return tenant
+
+    def charge(self, name: str) -> Tenant:
+        """Validate ``name`` and spend one quota token for it."""
+        tenant = self.get(name)
+        tenant.requests_total += 1
+        if not tenant.bucket.try_take(1.0):
+            tenant.rejected_total += 1
+            wait = tenant.bucket.wait_time(1.0)
+            retry_after = max(int(wait + 0.999), 1)
+            raise QuotaExceeded(
+                f"tenant {tenant.name!r} exceeded its request quota "
+                f"({self.rps:g} req/s, burst {self.burst:g}); next "
+                f"token in ~{retry_after}s",
+                retry_after=retry_after)
+        return tenant
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant counters for /metrics."""
+        with self._lock:
+            tenants = dict(self._tenants)
+        return {
+            name: {
+                "requests_total": tenant.requests_total,
+                "rejected_total": tenant.rejected_total,
+                "tokens_available": round(tenant.bucket.available, 3),
+            }
+            for name, tenant in sorted(tenants.items())
+        }

@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) on core invariants."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.compact.model import BsimSoi4Lite
@@ -37,6 +37,10 @@ def test_source_drain_exchange_antisymmetry(vgs, vds):
 
 @given(vgs1=pos_voltages, vgs2=pos_voltages, vds=pos_voltages)
 @settings(max_examples=60, deadline=None)
+# vds << eps * Vdsat: the textbook Vdseff form cancelled to zero here,
+# collapsing the higher-vgs current onto the leakage floor (fixed by
+# the conjugate branch in compact.current.effective_vds).
+@example(vgs1=0.5, vgs2=0.875, vds=1.5e-17)
 def test_ids_monotone_in_vgs(vgs1, vgs2, vds):
     lo, hi = sorted((vgs1, vgs2))
     assert _MODEL.ids(hi, vds) >= _MODEL.ids(lo, vds) - 1e-21

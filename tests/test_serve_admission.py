@@ -1,0 +1,184 @@
+"""Admission control, quotas and tenancy (deterministic, no sockets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionRejected, InvalidRequest, QuotaExceeded
+from repro.serve.admission import (
+    AdmissionController,
+    ServiceTimeEstimator,
+    TokenBucket,
+)
+from repro.serve.tenants import (
+    DEFAULT_TENANT,
+    TenantRegistry,
+    validate_tenant_name,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestServiceTimeEstimator:
+    def test_first_observation_replaces_the_prior(self):
+        estimator = ServiceTimeEstimator(initial=5.0)
+        estimator.observe(1.0)
+        assert estimator.estimate == 1.0
+
+    def test_ewma_smooths_later_observations(self):
+        estimator = ServiceTimeEstimator(alpha=0.5)
+        estimator.observe(2.0)
+        estimator.observe(4.0)
+        assert estimator.estimate == pytest.approx(3.0)
+
+    def test_retry_after_scales_with_depth_and_workers(self):
+        estimator = ServiceTimeEstimator()
+        estimator.observe(2.0)
+        assert estimator.retry_after(depth=4, workers=2) == 4
+        assert estimator.retry_after(depth=4, workers=4) == 2
+
+    def test_retry_after_is_clamped(self):
+        estimator = ServiceTimeEstimator()
+        estimator.observe(0.001)
+        assert estimator.retry_after(depth=1, workers=8) == 1
+        estimator.observe(10_000.0)
+        estimator.observe(10_000.0)
+        assert estimator.retry_after(depth=100, workers=1) == 3600
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_take(2.0)
+        clock.advance(0.5)
+        assert bucket.try_take(1.0)
+        assert not bucket.try_take(1.0)
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == 3.0
+
+    def test_wait_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        bucket.try_take()
+        assert bucket.wait_time(1.0) == pytest.approx(0.5)
+        assert TokenBucket(1.0, 1.0, clock=clock).wait_time() == 0.0
+
+
+class TestAdmissionController:
+    def make(self, limit=2, workers=1):
+        clock = FakeClock()
+        return AdmissionController(limit, workers, clock=clock), clock
+
+    def test_admits_until_the_limit(self):
+        controller, _ = self.make(limit=2)
+        controller.admit()
+        controller.admit()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            controller.admit()
+        assert excinfo.value.http_status == 429
+        assert excinfo.value.retry_after >= 1
+
+    def test_release_frees_a_slot_and_feeds_the_estimator(self):
+        controller, clock = self.make(limit=1)
+        ticket = controller.admit()
+        clock.advance(3.0)
+        service_s = controller.release(ticket)
+        assert service_s == pytest.approx(3.0)
+        assert controller.estimator.estimate == pytest.approx(3.0)
+        controller.admit()  # slot is free again
+
+    def test_release_is_idempotent(self):
+        controller, _ = self.make(limit=1)
+        ticket = controller.admit()
+        controller.release(ticket)
+        controller.release(ticket)
+        assert controller.inflight == 0
+
+    def test_consecutive_sheds_reset_on_admission(self):
+        controller, _ = self.make(limit=1)
+        ticket = controller.admit()
+        for _ in range(3):
+            with pytest.raises(AdmissionRejected):
+                controller.admit()
+        assert controller.consecutive_sheds == 3
+        controller.release(ticket)
+        controller.admit()
+        assert controller.consecutive_sheds == 0
+
+    def test_snapshot_counters(self):
+        controller, _ = self.make(limit=1)
+        controller.admit()
+        with pytest.raises(AdmissionRejected):
+            controller.admit()
+        snap = controller.snapshot()
+        assert snap["admitted_total"] == 1
+        assert snap["shed_total"] == 1
+        assert snap["inflight"] == 1
+
+
+class TestTenants:
+    def test_name_validation(self):
+        assert validate_tenant_name("") == DEFAULT_TENANT
+        assert validate_tenant_name(" alice-1 ") == "alice-1"
+        for bad in ("../up", "a b", "x" * 65, "é"):
+            with pytest.raises(InvalidRequest):
+                validate_tenant_name(bad)
+
+    def test_namespaces_are_isolated_directories(self, tmp_path):
+        registry = TenantRegistry(str(tmp_path), rps=10, burst=10)
+        alice = registry.get("alice")
+        bob = registry.get("bob")
+        assert alice.cache_dir != bob.cache_dir
+        assert alice.cache_dir.startswith(str(tmp_path))
+        import os
+        assert os.path.isdir(alice.cache_dir)
+        assert registry.get("alice") is alice
+
+    def test_quota_is_per_tenant(self, tmp_path):
+        clock = FakeClock()
+        registry = TenantRegistry(str(tmp_path), rps=1.0, burst=1.0,
+                                  clock=clock)
+        registry.charge("alice")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            registry.charge("alice")
+        assert excinfo.value.retry_after >= 1
+        registry.charge("bob")  # unaffected by alice's exhaustion
+
+    def test_quota_refills(self, tmp_path):
+        clock = FakeClock()
+        registry = TenantRegistry(str(tmp_path), rps=1.0, burst=1.0,
+                                  clock=clock)
+        registry.charge("alice")
+        clock.advance(1.0)
+        registry.charge("alice")
+
+    def test_snapshot(self, tmp_path):
+        clock = FakeClock()
+        registry = TenantRegistry(str(tmp_path), rps=1.0, burst=1.0,
+                                  clock=clock)
+        registry.charge("alice")
+        with pytest.raises(QuotaExceeded):
+            registry.charge("alice")
+        snap = registry.snapshot()
+        assert snap["alice"]["requests_total"] == 2
+        assert snap["alice"]["rejected_total"] == 1
