@@ -1,0 +1,126 @@
+"""Solver-kernel speedup benchmark -> the ``kernels`` rows of
+``BENCH_engine.json``.
+
+Two rows, one per tentpole kernel, each timing the *same* workload under
+the legacy oracle and the fast kernel:
+
+``dd1d-batched``
+    a paper-style I-V sweep over the S/D extension bar, per-point
+    Gummel loop (``kernel="loop"``) vs the stacked-tridiagonal batched
+    Newton (``kernel="batched"``);
+``spice-sparse``
+    a transient on a long RC ladder, dense LAPACK solves
+    (``REPRO_SOLVER_KERNEL=dense``) vs CSC assembly with cached
+    ``splu`` factorisations (``sparse``).
+
+The legacy side is pinned *explicitly* — the unset-env default is the
+fast path, so an un-pinned "baseline" would silently benchmark the new
+kernel against itself.  Wall times are best-of-3 after a warmup run
+because the CI box has one CPU and noisy timers.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.kernels import KERNEL_ENV, SPARSE_THRESHOLD_ENV
+from repro.spice import Capacitor, Circuit, Resistor, pulse_source, transient
+from repro.tcad.dd1d import DriftDiffusion1D, uniform_bar
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    fn()  # warmup: page in code paths and caches
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _rc_ladder(stages: int) -> Circuit:
+    c = Circuit("ladder")
+    c.add(pulse_source("VIN", "n0", "0", v1=0.0, v2=1.0, delay=1e-10,
+                       rise=5e-11, fall=5e-11, width=2e-9, period=5e-9))
+    for i in range(stages):
+        c.add(Resistor(f"R{i}", f"n{i}", f"n{i + 1}", 1e3))
+        c.add(Capacitor(f"C{i}", f"n{i + 1}", "0", 2e-15))
+    return c
+
+
+def _pin_kernels(spec: str, threshold: str = None):
+    os.environ[KERNEL_ENV] = spec
+    if threshold is None:
+        os.environ.pop(SPARSE_THRESHOLD_ENV, None)
+    else:
+        os.environ[SPARSE_THRESHOLD_ENV] = threshold
+
+
+@pytest.mark.engine
+def test_kernel_speedups():
+    """Times both kernels against their legacy oracles and rewrites the
+    ``kernels`` key of ``BENCH_engine.json`` (the rest of the file — the
+    execution-engine rows — is left untouched)."""
+    saved = {name: os.environ.get(name)
+             for name in (KERNEL_ENV, SPARSE_THRESHOLD_ENV)}
+    try:
+        rows = {}
+
+        # --- dd1d: batched bias-sweep Newton ---------------------------
+        solver = DriftDiffusion1D(uniform_bar())
+        biases = list(np.linspace(0.0, 0.3, 25))
+
+        loop_s = _best_of(lambda: solver.sweep(biases, kernel="loop"))
+        batched_s = _best_of(lambda: solver.sweep(biases, kernel="batched"))
+        ref = [s.current for s in solver.sweep(biases, kernel="loop")]
+        fast = [s.current for s in solver.sweep(biases, kernel="batched")]
+        np.testing.assert_allclose(fast, ref, rtol=1e-6, atol=1e-15)
+        rows["dd1d-batched"] = {
+            "workload": f"I-V sweep, {len(biases)} bias points, "
+                        f"{solver.bar.n_nodes}-node bar",
+            "legacy": "loop", "kernel": "batched",
+            "legacy_wall_s": loop_s, "kernel_wall_s": batched_s,
+            "speedup": loop_s / batched_s,
+        }
+        assert rows["dd1d-batched"]["speedup"] >= 2.0
+
+        # --- spice: sparse MNA with factorisation reuse ----------------
+        stages = 240
+
+        def run_ladder():
+            return transient(_rc_ladder(stages), t_stop=4e-9, dt=2e-11,
+                             record_nodes=[f"n{stages}"])
+
+        _pin_kernels("loop,dense")
+        dense_s = _best_of(run_ladder)
+        dense_v = run_ladder().waveform(f"n{stages}").v
+        _pin_kernels("loop,sparse")
+        sparse_s = _best_of(run_ladder)
+        sparse_v = run_ladder().waveform(f"n{stages}").v
+        np.testing.assert_allclose(sparse_v, dense_v, rtol=1e-6,
+                                   atol=1e-9)
+        rows["spice-sparse"] = {
+            "workload": f"RC-ladder transient, {stages} stages "
+                        f"({stages + 2} unknowns), 200 timesteps",
+            "legacy": "dense", "kernel": "sparse",
+            "legacy_wall_s": dense_s, "kernel_wall_s": sparse_s,
+            "speedup": dense_s / sparse_s,
+        }
+        assert rows["spice-sparse"]["speedup"] >= 1.5
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    payload = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    payload["kernels"] = rows
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")

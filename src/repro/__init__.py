@@ -54,6 +54,7 @@ from repro.errors import EngineRunError
 from repro.flows import FullFlowResult, run_extractions, run_full_flow
 from repro.geometry.process import DEFAULT_PROCESS, ProcessParameters
 from repro.geometry.transistor_layout import ChannelCount
+from repro.kernels import KernelConfig, resolve_kernels
 from repro.observe import (
     NULL_TRACER,
     Tracer,
@@ -67,7 +68,7 @@ from repro.ppa.runner import DEFAULT_DT, PpaRunner
 from repro.resilience import FaultInjector, RetryPolicy
 from repro.tcad.device import Polarity, design_for_variant
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ChannelCount",
@@ -79,6 +80,7 @@ __all__ = [
     "ExecutionBackend",
     "FaultInjector",
     "FullFlowResult",
+    "KernelConfig",
     "NULL_TRACER",
     "Parasitics",
     "Polarity",
@@ -99,6 +101,7 @@ __all__ = [
     "get_tracer",
     "quick_ppa",
     "resolve_backend",
+    "resolve_kernels",
     "run_extractions",
     "run_full_flow",
     "summary_table",

@@ -29,7 +29,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, SingularMatrixError
 from repro.observe import get_tracer
 from repro.resilience.faults import draw_fault
 from repro.resilience.rescue import continue_solve
@@ -61,7 +61,7 @@ def _damped_iteration(assembler: MnaAssembler, x0: np.ndarray, time: float,
         stamper = assembler.assemble_static(x, time)
         if extra_system is not None:
             extra_system(x, stamper)
-        x_new = assembler.solve_linear(stamper.matrix, stamper.rhs)
+        x_new = assembler.solve_system(stamper.matrix, stamper.rhs)
         delta = x_new - x
         residual = float(np.max(np.abs(delta))) if delta.size else 0.0
         if residual <= V_TOLERANCE:
@@ -161,6 +161,7 @@ def newton_solve(assembler: MnaAssembler, x0: np.ndarray, time: float,
     tracer = get_tracer()
     total_iterations = 0
     residual = float("inf")
+    singular: Optional[SingularMatrixError] = None
     rule = draw_fault("convergence", site)
     if rule is not None and rule.fatal:
         raise ConvergenceError(
@@ -170,8 +171,20 @@ def newton_solve(assembler: MnaAssembler, x0: np.ndarray, time: float,
     if rule is None:
         for max_step, iterations in ((MAX_STEP, MAX_ITERATIONS),
                                      (MAX_STEP / 8.0, 4 * MAX_ITERATIONS)):
-            x, used, converged, residual = _damped_iteration(
-                assembler, x0, time, extra_system, max_step, iterations)
+            # A singular system on a damped rung is treated like
+            # non-convergence: the gmin rescue's extra shunt
+            # conductance regularises exactly-singular linearisations
+            # (e.g. every transistor of a stage cut off at the current
+            # estimate), so the ladder gets its chance before the
+            # diagnosis propagates.
+            try:
+                x, used, converged, residual = _damped_iteration(
+                    assembler, x0, time, extra_system, max_step, iterations)
+            except SingularMatrixError as exc:
+                singular = exc
+                if tracer.enabled:
+                    tracer.counter("spice.newton.singular_systems").inc()
+                continue
             total_iterations += used
             if converged:
                 _count_converged(tracer, total_iterations, residual)
@@ -179,7 +192,12 @@ def newton_solve(assembler: MnaAssembler, x0: np.ndarray, time: float,
 
     for rung, rescue in (("gmin", _rescue_gmin),
                          ("source", _rescue_source)):
-        x, used, rescue_residual = rescue(assembler, x0, time, extra_system)
+        try:
+            x, used, rescue_residual = rescue(assembler, x0, time,
+                                              extra_system)
+        except SingularMatrixError as exc:
+            singular = exc
+            continue
         total_iterations += used
         if np.isfinite(rescue_residual):
             residual = rescue_residual
@@ -192,6 +210,11 @@ def newton_solve(assembler: MnaAssembler, x0: np.ndarray, time: float,
             _count_converged(tracer, total_iterations, rescue_residual)
             return x
 
+    if singular is not None:
+        # Every rung failed and at least one saw a singular system:
+        # the structural diagnosis (floating subcircuit, source loop)
+        # is more actionable than a generic non-convergence.
+        raise singular
     raise ConvergenceError(
         f"Newton failed at t={time:g}s", iterations=total_iterations,
         residual=residual)

@@ -13,12 +13,14 @@ numbers — against the serial-cold baseline.
 
 from __future__ import annotations
 
+import os
 import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.cells.variants import DeviceVariant
 from repro.engine import Engine
 from repro.geometry.transistor_layout import ChannelCount
@@ -67,6 +69,14 @@ class ParityCell:
         rescue-path deviation).
     tolerance:
         Tolerance class for ``comparison == "tolerance"``.
+    kernels:
+        ``REPRO_SOLVER_KERNEL`` spec installed for the run (None =
+        inherit the session default).
+    sparse_threshold:
+        ``REPRO_SPARSE_THRESHOLD`` override for the run (None =
+        default); ``1`` forces the sparse MNA path onto every circuit
+        of the flow, including the standard cells the default
+        threshold keeps on the dense oracle.
     chaos:
         Durability scenario run through *real subprocesses* (see
         :mod:`repro.resilience.chaos`): ``"kill-resume"`` SIGKILLs a
@@ -89,6 +99,8 @@ class ParityCell:
     retries: int = 0
     comparison: str = "bitwise"
     tolerance: str = "calibrated"
+    kernels: Optional[str] = None
+    sparse_threshold: Optional[int] = None
     chaos: Optional[str] = None
 
 
@@ -156,6 +168,19 @@ PARITY_MATRIX: Tuple[ParityCell, ...] = (
                     "draining one graph through filesystem leases "
                     "(bit-identical, zero quarantined entries)",
         backend="workqueue", chaos="workqueue"),
+    ParityCell(
+        name="kernel-batched",
+        description="batched dd1d kernel with the dense MNA oracle "
+                    "(the flow's circuits stay on legacy arithmetic: "
+                    "must be bit-identical)",
+        kernels="batched,dense"),
+    ParityCell(
+        name="kernel-sparse",
+        description="sparse MNA kernel forced onto every circuit "
+                    "(threshold 1): SuperLU vs LAPACK arithmetic, "
+                    "tolerance-equal",
+        kernels="loop,sparse", sparse_threshold=1,
+        comparison="tolerance", tolerance="numeric"),
 )
 
 #: Modes of the fast suite (one representative per mechanism).
@@ -301,11 +326,24 @@ def _run_mode(cell: ParityCell, cache_dir: Path,
                 if cell.faults else None)
     observe = Tracer() if cell.traced else None
     install(injector) if injector else clear_faults()
+    overrides = {}
+    if cell.kernels is not None:
+        overrides[kernels.KERNEL_ENV] = cell.kernels
+    if cell.sparse_threshold is not None:
+        overrides[kernels.SPARSE_THRESHOLD_ENV] = str(
+            cell.sparse_threshold)
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
     try:
         return run_full_flow(engine=engine, observe=observe,
                              **flow_kwargs)
     finally:
         clear_faults()
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
 
 
 def run_parity_matrix(

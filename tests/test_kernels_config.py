@@ -1,0 +1,91 @@
+"""Kernel-selection knob (``REPRO_SOLVER_KERNEL``) resolution rules."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import (
+    DEFAULT_SPARSE_THRESHOLD,
+    KernelConfig,
+    dd1d_kernel,
+    mna_kernel,
+    parse_kernel_spec,
+    resolve_kernels,
+    scipy_sparse_available,
+    sparse_threshold,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SOLVER_KERNEL", raising=False)
+    monkeypatch.delenv("REPRO_SPARSE_THRESHOLD", raising=False)
+
+
+def test_defaults_are_the_fast_kernels():
+    config = resolve_kernels()
+    assert config == KernelConfig(dd1d="batched", mna="sparse")
+    assert config.spec() == "batched,sparse"
+
+
+@pytest.mark.parametrize("spec,dd1d,mna", [
+    ("", "batched", "sparse"),
+    ("loop", "loop", "sparse"),
+    ("dense", "batched", "dense"),
+    ("loop,dense", "loop", "dense"),
+    ("dense loop", "loop", "dense"),
+    ("batched,sparse", "batched", "sparse"),
+    ("loop,loop", "loop", "sparse"),
+])
+def test_parse_kernel_spec(spec, dd1d, mna):
+    config = parse_kernel_spec(spec)
+    assert (config.dd1d, config.mna) == (dd1d, mna)
+
+
+@pytest.mark.parametrize("spec", ["fast", "batched,turbo", "Loop"])
+def test_unknown_tokens_fail_loudly(spec):
+    with pytest.raises(ConfigError, match="REPRO_SOLVER_KERNEL"):
+        parse_kernel_spec(spec)
+
+
+@pytest.mark.parametrize("spec", ["loop,batched", "sparse,dense"])
+def test_conflicting_tokens_fail_loudly(spec):
+    with pytest.raises(ConfigError, match="conflicting"):
+        parse_kernel_spec(spec)
+
+
+def test_environment_resolution(monkeypatch):
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "loop,dense")
+    assert dd1d_kernel() == "loop"
+    assert mna_kernel() == "dense"
+    # explicit beats environment
+    assert dd1d_kernel("batched") == "batched"
+    assert mna_kernel("sparse") == "sparse"
+    # a full spec works as an explicit argument too
+    assert dd1d_kernel("batched,sparse") == "batched"
+    assert mna_kernel("loop,dense") == "dense"
+
+
+def test_bad_environment_fails_at_resolution(monkeypatch):
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "warp9")
+    with pytest.raises(ConfigError):
+        resolve_kernels()
+
+
+def test_sparse_threshold_resolution(monkeypatch):
+    assert sparse_threshold() == DEFAULT_SPARSE_THRESHOLD
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", "7")
+    assert sparse_threshold() == 7
+    assert sparse_threshold(3) == 3
+
+
+@pytest.mark.parametrize("bad", ["0", "-4", "many"])
+def test_sparse_threshold_validation(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", bad)
+    with pytest.raises(ConfigError, match="REPRO_SPARSE_THRESHOLD"):
+        sparse_threshold()
+
+
+def test_scipy_probe_is_true_here():
+    # the CI image bakes SciPy in; the probe gates graceful dense
+    # degradation elsewhere
+    assert scipy_sparse_available() is True

@@ -1,0 +1,152 @@
+"""Property tests of the fast solver kernels.
+
+* The batched dd1d sweep is a per-point cold solve: its result for a
+  bias must not depend on where the point sits in the sweep, nor on
+  how the sweep is partitioned into batches.
+* The sparse MNA solver is just a linear solver: on any
+  well-conditioned system it must agree with ``np.linalg.solve``, and
+  its pattern/factor caches must invalidate exactly when the matrix
+  structure/values change.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observe import Tracer, activate
+from repro.spice.mna import _SparseLinearSolver
+from repro.tcad.dd1d import Bar1D, DriftDiffusion1D
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::scipy.sparse.SparseEfficiencyWarning")
+
+
+def _small_bar() -> Bar1D:
+    """A coarse bar: property tests trade mesh resolution for examples."""
+    return Bar1D(length=48e-9, area=192e-9 * 7e-9,
+                 doping=lambda _x: 1e25, n_nodes=31, mobility=0.01)
+
+
+_SOLVER = DriftDiffusion1D(_small_bar())
+_BIAS_POOL = [0.0, 0.02, 0.05, 0.08, 0.12, 0.2]
+
+
+def _currents(solutions):
+    return np.array([s.current for s in solutions])
+
+
+# ----------------------------------------------------------------------
+# batched dd1d: ordering and partition independence
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(order=st.permutations(list(range(len(_BIAS_POOL)))))
+def test_dd1d_batched_is_bias_order_independent(order):
+    reference = _currents(_SOLVER.sweep(_BIAS_POOL, kernel="batched"))
+    permuted = _currents(
+        _SOLVER.sweep([_BIAS_POOL[i] for i in order], kernel="batched"))
+    np.testing.assert_allclose(permuted, reference[order],
+                               rtol=1e-9, atol=1e-18)
+
+
+@settings(max_examples=25, deadline=None)
+@given(split=st.integers(min_value=0, max_value=len(_BIAS_POOL)))
+def test_dd1d_batched_is_partition_independent(split):
+    reference = _currents(_SOLVER.sweep(_BIAS_POOL, kernel="batched"))
+    pieces = (_SOLVER.sweep(_BIAS_POOL[:split], kernel="batched") +
+              _SOLVER.sweep(_BIAS_POOL[split:], kernel="batched"))
+    np.testing.assert_allclose(_currents(pieces), reference,
+                               rtol=1e-9, atol=1e-18)
+
+
+@settings(max_examples=20, deadline=None)
+@given(biases=st.lists(
+    st.floats(min_value=0.0, max_value=0.25, allow_nan=False),
+    min_size=1, max_size=5))
+def test_dd1d_batched_matches_loop_for_random_sweeps(biases):
+    batched = _currents(_SOLVER.sweep(biases, kernel="batched"))
+    loop = _currents(_SOLVER.sweep(biases, kernel="loop"))
+    np.testing.assert_allclose(batched, loop, rtol=1e-6, atol=1e-15)
+
+
+# ----------------------------------------------------------------------
+# sparse MNA linear algebra
+# ----------------------------------------------------------------------
+def _well_conditioned(draw_values, n):
+    """Diagonally dominant system: random entries + n * I."""
+    matrix = np.array(draw_values).reshape(n, n)
+    return matrix + n * np.max(np.abs(matrix) + 1.0) * np.eye(n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), n=st.integers(min_value=2, max_value=12))
+def test_sparse_solver_matches_dense_reference(data, n):
+    values = data.draw(st.lists(
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+        min_size=n * n, max_size=n * n))
+    rhs = np.array(data.draw(st.lists(
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+        min_size=n, max_size=n)))
+    matrix = _well_conditioned(values, n)
+    got = _SparseLinearSolver().solve(matrix, rhs)
+    expected = np.linalg.solve(matrix, rhs)
+    np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), n=st.integers(min_value=3, max_value=10))
+def test_sparse_solver_survives_value_and_pattern_changes(data, n):
+    """One solver instance fed a sequence of systems: cached answers
+    must stay correct through value changes and structure changes."""
+    solver = _SparseLinearSolver()
+    base = _well_conditioned([0.0] * (n * n), n)
+    rhs = np.arange(1.0, n + 1.0)
+    steps = data.draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=n - 1),
+                  st.integers(min_value=0, max_value=n - 1),
+                  st.floats(min_value=-5.0, max_value=5.0,
+                            allow_nan=False)),
+        min_size=1, max_size=6))
+    matrix = base.copy()
+    for row, col, value in steps:
+        matrix[row, col] += value
+        np.testing.assert_allclose(
+            solver.solve(matrix, rhs), np.linalg.solve(matrix, rhs),
+            rtol=1e-9, atol=1e-12)
+
+
+def test_sparse_cache_counters_follow_the_contract():
+    """Same data -> factor reuse; new values -> refactorisation; new
+    off-pattern nonzero -> pattern rebuild (and a correct solve)."""
+    solver = _SparseLinearSolver()
+    n = 6
+    matrix = np.diag(np.full(n, 4.0)) + np.diag(np.ones(n - 1), 1)
+    rhs = np.ones(n)
+    tracer = Tracer()
+    with activate(tracer):
+        solver.solve(matrix, rhs)
+        assert tracer.counter("spice.mna.pattern_rebuilds").value == 1
+        assert tracer.counter("spice.mna.factorizations").value == 1
+
+        solver.solve(matrix, rhs)
+        assert tracer.counter("spice.mna.factor_reuse").value == 1
+        assert tracer.counter("spice.mna.factorizations").value == 1
+
+        matrix[0, 0] = 5.0  # in-pattern value change
+        solver.solve(matrix, rhs)
+        assert tracer.counter("spice.mna.factorizations").value == 2
+        assert tracer.counter("spice.mna.pattern_rebuilds").value == 1
+
+        matrix[n - 1, 0] = 1.0  # new coupling outside the pattern
+        got = solver.solve(matrix, rhs)
+        assert tracer.counter("spice.mna.pattern_rebuilds").value == 2
+    np.testing.assert_allclose(got, np.linalg.solve(matrix, rhs),
+                               rtol=1e-9, atol=1e-12)
+
+
+def test_sparse_cache_handles_size_change():
+    solver = _SparseLinearSolver()
+    for n in (4, 7, 4):
+        matrix = np.diag(np.full(n, 3.0))
+        got = solver.solve(matrix, np.ones(n))
+        np.testing.assert_allclose(got, np.full(n, 1.0 / 3.0))

@@ -1,0 +1,314 @@
+"""Differential harness: fast solver kernels vs their legacy oracles.
+
+The batched dd1d sweep and the sparse MNA kernel are allowed to differ
+from the loop/dense oracles only within documented tolerance-class
+bounds (``repro.verify.tolerances``):
+
+* finite-bias dd1d currents — ``numeric`` (1e-6 relative);
+* equilibrium dd1d currents — the solver noise floor (|I| < 1e-15 A,
+  the bound the audit suite already pins for the loop kernel);
+* SPICE waveforms and operating points — ``numeric``;
+* rescue-ladder recoveries (faults, gmin stepping, timestep
+  rejection) — ``calibrated`` (1e-3), the class every rescued
+  artifact is documented under.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.observe import Tracer, activate
+from repro.resilience import FaultInjector, clear_faults, install
+from repro.spice import (
+    Circuit,
+    Resistor,
+    dc_source,
+    pulse_source,
+    transient,
+)
+from repro.spice.dcop import solve_dc
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.controlled import Vccs
+from repro.spice.elements.mosfet import Mosfet
+from repro.tcad.dd1d import Bar1D, DriftDiffusion1D, uniform_bar
+from repro.verify.tolerances import tolerance_class
+
+NUMERIC = tolerance_class("numeric")
+CALIBRATED = tolerance_class("calibrated")
+
+#: Equilibrium dd1d current noise floor [A] (same bound the audit
+#: suite pins for the loop kernel).
+NOISE_FLOOR = 1e-15
+
+
+@pytest.fixture(autouse=True)
+def _clean_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_SOLVER_KERNEL", raising=False)
+    monkeypatch.delenv("REPRO_SPARSE_THRESHOLD", raising=False)
+    clear_faults()
+    yield
+    clear_faults()
+
+
+# ----------------------------------------------------------------------
+# dd1d: batched kernel vs the loop oracle
+# ----------------------------------------------------------------------
+def _junction_bar() -> Bar1D:
+    """n+/n-/n+ bar: the series-resistance shape of the S/D extension."""
+    def doping(x: float) -> float:
+        return 1e25 if x < 16e-9 or x > 32e-9 else 1e23
+    return Bar1D(length=48e-9, area=192e-9 * 7e-9, doping=doping,
+                 n_nodes=161, mobility=0.01)
+
+
+DEVICES = {
+    "uniform-default": uniform_bar,
+    "uniform-light": lambda: uniform_bar(nd_cm3=1e18, mobility=0.03),
+    "junction": _junction_bar,
+}
+
+SWEEPS = {
+    "paper-grid": [0.0, 0.01, 0.05, 0.1, 0.2],
+    "coarse-high-bias": [0.0, 0.05, 0.15, 0.3],
+}
+
+
+def _assert_sweep_agrees(loop, batched):
+    assert len(loop) == len(batched)
+    for ref, got in zip(loop, batched):
+        if abs(ref.current) < NOISE_FLOOR:
+            assert abs(got.current) < NOISE_FLOOR
+        else:
+            assert NUMERIC.accepts(ref.current, got.current), (
+                f"current {got.current!r} vs oracle {ref.current!r}")
+        assert np.max(np.abs(ref.psi - got.psi)) < 1e-7
+
+
+@pytest.mark.parametrize("device", sorted(DEVICES))
+@pytest.mark.parametrize("sweep", sorted(SWEEPS))
+def test_dd1d_batched_matches_loop_oracle(device, sweep):
+    solver = DriftDiffusion1D(DEVICES[device]())
+    loop = solver.sweep(SWEEPS[sweep], kernel="loop")
+    batched = solver.sweep(SWEEPS[sweep], kernel="batched")
+    _assert_sweep_agrees(loop, batched)
+
+
+def test_dd1d_batched_matches_independent_cold_solves():
+    """Each batched point is a cold solve: compare per point, not to
+    the warm-started loop, for the tightest possible bound."""
+    solver = DriftDiffusion1D(uniform_bar())
+    biases = [0.02, 0.08, 0.12]
+    batched = solver.sweep(biases, kernel="batched")
+    for bias, got in zip(biases, batched):
+        ref = solver.solve(bias)
+        assert abs(got.current - ref.current) <= 1e-9 * abs(ref.current)
+
+
+def test_dd1d_env_kernel_selection(monkeypatch):
+    solver = DriftDiffusion1D(uniform_bar())
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "loop")
+    loop = solver.sweep([0.0, 0.1])
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "batched")
+    batched = solver.sweep([0.0, 0.1])
+    _assert_sweep_agrees(loop, batched)
+
+
+def test_dd1d_batched_emits_counters():
+    solver = DriftDiffusion1D(uniform_bar())
+    tracer = Tracer()
+    with activate(tracer):
+        solver.sweep([0.0, 0.05, 0.1], kernel="batched")
+    assert tracer.counter("tcad.dd1d.batch_sweeps").value == 1
+    assert tracer.counter("tcad.dd1d.batch_points").value == 3
+    assert tracer.counter("tcad.dd1d.batch_gummel_iterations").value > 0
+
+
+def test_dd1d_batched_rescues_faulted_points():
+    """A non-fatal injected fault on one sweep point must engage the
+    continuation rescue under the batched kernel too, and the rescued
+    point stays calibrated-equal to the clean oracle."""
+    solver = DriftDiffusion1D(uniform_bar())
+    clean = solver.sweep([0.0, 0.05, 0.1], kernel="loop")
+
+    install(FaultInjector.parse("convergence:dd1d:first=2"))
+    tracer = Tracer()
+    with activate(tracer):
+        rescued = solver.sweep([0.0, 0.05, 0.1], kernel="batched")
+    assert tracer.counter("tcad.dd1d.rescues").value >= 1
+    assert tracer.counter("tcad.dd1d.batch_fallbacks").value >= 1
+    for ref, got in zip(clean[1:], rescued[1:]):
+        assert CALIBRATED.accepts(ref.current, got.current)
+
+
+def test_dd1d_fatal_fault_raises_under_both_kernels():
+    for kernel in ("loop", "batched"):
+        solver = DriftDiffusion1D(uniform_bar())
+        install(FaultInjector.parse("convergence:dd1d:fatal=1"))
+        with pytest.raises(ConvergenceError, match="dd1d"):
+            solver.sweep([0.05], kernel=kernel)
+        clear_faults()
+
+
+# ----------------------------------------------------------------------
+# SPICE: sparse MNA kernel vs the dense oracle
+# ----------------------------------------------------------------------
+def _rc_ladder(n=24):
+    c = Circuit(f"ladder{n}")
+    c.add(pulse_source("Vin", "in", "0", v1=0.0, v2=1.0, delay=1e-10,
+                       rise=2e-11, fall=2e-11, width=4e-10))
+    prev = "in"
+    for i in range(n):
+        node = f"n{i}"
+        c.add(Resistor(f"R{i}", prev, node, 200.0))
+        c.add(Capacitor(f"C{i}", node, "0", 5e-15))
+        prev = node
+    return c
+
+
+def _mosfet_chain(n=6):
+    from repro.compact.parameters import default_parameters
+    from repro.compact.model import BsimSoi4Lite
+    from repro.tcad.device import Polarity
+    model = BsimSoi4Lite(params=default_parameters(),
+                         polarity=Polarity.NMOS)
+    c = Circuit(f"moschain{n}")
+    c.add(dc_source("Vdd", "vdd", "0", 1.0))
+    c.add(pulse_source("Vg", "g", "0", v1=0.2, v2=0.9, delay=1e-10,
+                       rise=2e-11, fall=2e-11, width=4e-10))
+    prev = "vdd"
+    for i in range(n):
+        node = f"m{i}"
+        c.add(Resistor(f"RL{i}", prev, node, 5e3))
+        c.add(Mosfet(f"M{i}", node, "g", "0", model))
+        c.add(Capacitor(f"CL{i}", node, "0", 2e-15))
+        prev = node
+    return c
+
+
+def _controlled_bridge():
+    c = Circuit("bridge")
+    c.add(pulse_source("Vin", "in", "0", v1=0.0, v2=1.0, delay=1e-10,
+                       rise=2e-11, fall=2e-11, width=4e-10))
+    c.add(Resistor("R1", "in", "a", 1e3))
+    c.add(Capacitor("C1", "a", "0", 1e-13))
+    c.add(Vccs("G1", "b", "0", "a", "0", 2e-3))
+    c.add(Resistor("R2", "b", "0", 500.0))
+    c.add(Capacitor("C2", "b", "0", 5e-14))
+    return c
+
+
+CIRCUITS = {
+    "rc-ladder": (_rc_ladder, "n23"),
+    "mosfet-chain": (_mosfet_chain, "m5"),
+    "controlled-bridge": (_controlled_bridge, "b"),
+}
+
+TIMESTEPS = {"coarse": 5e-11, "fine": 2e-11}
+
+
+def _run_transient(kernel, monkeypatch, build, probe, dt, method):
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", kernel)
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", "1")
+    return transient(build(), t_stop=1e-9, dt=dt, method=method,
+                     record_nodes=[probe]).waveform(probe).v
+
+
+@pytest.mark.parametrize("circuit", sorted(CIRCUITS))
+@pytest.mark.parametrize("dt", sorted(TIMESTEPS))
+@pytest.mark.parametrize("method", ["be", "trap"])
+def test_transient_sparse_matches_dense_oracle(circuit, dt, method,
+                                               monkeypatch):
+    build, probe = CIRCUITS[circuit]
+    dense = _run_transient("dense", monkeypatch, build, probe,
+                           TIMESTEPS[dt], method)
+    sparse = _run_transient("sparse", monkeypatch, build, probe,
+                            TIMESTEPS[dt], method)
+    scale = max(1e-24, float(np.max(np.abs(dense))))
+    assert np.max(np.abs(dense - sparse)) <= NUMERIC.rtol * scale
+
+
+@pytest.mark.parametrize("circuit", sorted(CIRCUITS))
+def test_dcop_sparse_matches_dense_oracle(circuit, monkeypatch):
+    build, probe = CIRCUITS[circuit]
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", "1")
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "dense")
+    dense = solve_dc(build())
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "sparse")
+    sparse = solve_dc(build())
+    for node in dense.voltages:
+        assert NUMERIC.accepts(dense.voltages[node] or 1e-30,
+                               sparse.voltages[node] or 1e-30)
+
+
+def test_sparse_transient_reuses_factorizations(monkeypatch):
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "sparse")
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", "1")
+    tracer = Tracer()
+    with activate(tracer):
+        transient(_rc_ladder(), t_stop=1e-9, dt=5e-11,
+                  record_nodes=["n23"])
+    factorizations = tracer.counter("spice.mna.factorizations").value
+    reuses = tracer.counter("spice.mna.factor_reuse").value
+    assert factorizations >= 1
+    # A linear circuit refactors only when the timestep (companion
+    # coefficient) changes: reuse must dominate.
+    assert reuses > factorizations
+
+
+def test_sparse_newton_rescue_ladder_still_engages(monkeypatch):
+    """Injected primary-rung failure under the sparse kernel: the gmin
+    rescue must engage and land numeric-equal to the dense result."""
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", "1")
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "dense")
+    reference = solve_dc(_rc_ladder())
+
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "sparse")
+    install(FaultInjector.parse("convergence:newton:first=1"))
+    tracer = Tracer()
+    with activate(tracer):
+        rescued = solve_dc(_rc_ladder())
+    assert tracer.counter("spice.newton.rescues").value == 1
+    assert tracer.counter("spice.newton.rescues.gmin").value == 1
+    for node in reference.voltages:
+        assert NUMERIC.accepts(reference.voltages[node] or 1e-30,
+                               rescued.voltages[node] or 1e-30)
+
+
+def test_sparse_timestep_rejection_recovers(monkeypatch):
+    """Fatal faults on the first timestep solves under the sparse
+    kernel: halved sub-steps must carry the waveform through, staying
+    calibrated-close to the clean dense waveform."""
+    monkeypatch.setenv("REPRO_SPARSE_THRESHOLD", "1")
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "dense")
+    reference = transient(_rc_ladder(), t_stop=1e-9, dt=5e-11,
+                          record_nodes=["n23"])
+
+    monkeypatch.setenv("REPRO_SOLVER_KERNEL", "sparse")
+    install(FaultInjector.parse(
+        "convergence:transient.newton:first=3,fatal=1"))
+    tracer = Tracer()
+    with activate(tracer):
+        rescued = transient(_rc_ladder(), t_stop=1e-9, dt=5e-11,
+                            record_nodes=["n23"])
+    assert tracer.counter("spice.transient.rejected_steps").value >= 1
+    assert np.array_equal(rescued.times, reference.times)
+    ref = reference.waveform("n23").v
+    got = rescued.waveform("n23").v
+    assert np.max(np.abs(got - ref)) < 1e-3
+
+
+@pytest.mark.slow
+def test_transient_kernels_agree_across_method_grid(monkeypatch):
+    """Denser differential grid (all circuits x both methods x three
+    timesteps) for the slow tier."""
+    for name, (build, probe) in sorted(CIRCUITS.items()):
+        for method in ("be", "trap"):
+            for dt in (2e-11, 4e-11, 8e-11):
+                dense = _run_transient("dense", monkeypatch, build,
+                                       probe, dt, method)
+                sparse = _run_transient("sparse", monkeypatch, build,
+                                        probe, dt, method)
+                scale = max(1e-24, float(np.max(np.abs(dense))))
+                assert np.max(np.abs(dense - sparse)) <= \
+                    NUMERIC.rtol * scale, (name, method, dt)

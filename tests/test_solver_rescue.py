@@ -69,6 +69,74 @@ def test_fault_free_solves_draw_nothing():
     assert op.voltage("b") == pytest.approx(0.5, abs=1e-6)
 
 
+def _sabotage(times: int):
+    """extra_system that zeroes the matrix for its first ``times`` calls,
+    making the linearised system exactly singular."""
+    count = {"left": times}
+
+    def wrecker(x, stamper) -> None:
+        if count["left"] > 0:
+            count["left"] -= 1
+            stamper.matrix[:, :] = 0.0
+    return wrecker
+
+
+@pytest.mark.parametrize("kernel,threshold", [("dense", None),
+                                              ("sparse", 1)])
+def test_singular_damped_rung_falls_through_to_next_rung(kernel,
+                                                         threshold):
+    """A singular system on the first damped rung is treated like
+    non-convergence: the second rung solves the (now healthy) system
+    and the result matches the clean solve bitwise."""
+    assembler = MnaAssembler(_divider(), kernel=kernel,
+                             sparse_threshold=threshold)
+    x0 = np.zeros(assembler.n_unknowns)
+    reference = newton_solve(assembler, x0, 0.0)
+
+    tracer = Tracer()
+    with activate(tracer):
+        recovered = newton_solve(assembler, x0, 0.0,
+                                 extra_system=_sabotage(1))
+    assert np.array_equal(recovered, reference)
+    assert tracer.counter("spice.newton.singular_systems").value == 1
+    assert tracer.counter("spice.newton.rescues").value == 0
+
+
+@pytest.mark.parametrize("kernel,threshold", [("dense", None),
+                                              ("sparse", 1)])
+def test_singular_damped_rungs_engage_gmin_rescue(kernel, threshold):
+    """Both damped rungs hit singular systems: the gmin rescue must
+    engage (the rescue's own solves see the healthy system again)."""
+    assembler = MnaAssembler(_divider(), kernel=kernel,
+                             sparse_threshold=threshold)
+    x0 = np.zeros(assembler.n_unknowns)
+    reference = newton_solve(assembler, x0, 0.0)
+
+    tracer = Tracer()
+    with activate(tracer):
+        rescued = newton_solve(assembler, x0, 0.0,
+                               extra_system=_sabotage(2))
+    assert np.array_equal(rescued, reference)
+    assert tracer.counter("spice.newton.singular_systems").value == 2
+    assert tracer.counter("spice.newton.rescues.gmin").value == 1
+
+
+@pytest.mark.parametrize("kernel,threshold", [("dense", None),
+                                              ("sparse", 1)])
+def test_hard_singular_system_raises_the_structural_diagnosis(kernel,
+                                                              threshold):
+    """When every rung sees a singular system the solver re-raises
+    SingularMatrixError (code spice.singular_matrix), not a generic
+    non-convergence."""
+    from repro.errors import SingularMatrixError
+    assembler = MnaAssembler(_divider(), kernel=kernel,
+                             sparse_threshold=threshold)
+    with pytest.raises(SingularMatrixError) as err:
+        newton_solve(assembler, np.zeros(assembler.n_unknowns), 0.0,
+                     extra_system=_sabotage(10 ** 6))
+    assert err.value.code == "spice.singular_matrix"
+
+
 # ----------------------------------------------------------------------
 # transient timestep rejection
 # ----------------------------------------------------------------------
