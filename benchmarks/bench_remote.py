@@ -1,0 +1,86 @@
+"""Remote cache tier benchmark: the ``remote`` rows of
+``BENCH_engine.json``.
+
+The scenario the tier exists for: a machine with a *cold* local cache
+joining a fleet whose remote store is already *warm*.  The benchmark
+runs the one-cell INV1X1 flow three times against a live in-process
+``repro.cachesrv``:
+
+``serial-cold``
+    no remote tier — the compute baseline;
+``remote-seed``
+    cold local + empty remote: pays the compute AND the write-behind
+    publishes (the price of warming the fleet's store);
+``remote-warm``
+    cold local + warm remote: every artifact read through the remote
+    tier instead of recomputed — the row the ROADMAP tracks, with hit
+    counts and bytes transferred.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+pytestmark = pytest.mark.engine
+
+
+def test_remote_warm_replay(tmp_path):
+    """Cold-local/warm-remote flow -> ``remote`` rows of the report."""
+    from repro.cachesrv import CacheServer
+    from repro.engine import Engine, RemoteCache
+    from repro.flows.full_flow import run_full_flow
+
+    cells = ["INV1X1"]
+    server = CacheServer(tmp_path / "remote-store").serve_in_thread()
+    rows = {}
+
+    def timed(name, cache_dir, remote):
+        engine = Engine(backend="serial", cache_dir=cache_dir,
+                        remote=remote)
+        start = time.perf_counter()
+        result = run_full_flow(cells=cells, engine=engine)
+        elapsed = time.perf_counter() - start
+        stats = engine.cache.stats()
+        rows[name] = {
+            "wall_s": elapsed,
+            "hits_remote": stats["hits_remote"],
+            "remote": stats.get("remote"),
+        }
+        return result
+
+    try:
+        baseline = timed("serial-cold", tmp_path / "baseline", None)
+        seed = timed("remote-seed", tmp_path / "seed",
+                     RemoteCache(server.url))
+        warm = timed("remote-warm", tmp_path / "replay",
+                     RemoteCache(server.url))
+    finally:
+        server.close()
+
+    assert baseline.headline() == seed.headline() == warm.headline()
+    warm_row = rows["remote-warm"]
+    assert warm_row["hits_remote"] > 0, \
+        "warm-remote replay never hit the remote tier"
+    assert warm_row["remote"]["bytes_fetched"] > 0
+    assert warm_row["remote"]["degraded"] is False
+    assert rows["remote-seed"]["remote"]["stores"] > 0
+
+    for name, row in rows.items():
+        remote = row["remote"]
+        row["speedup_vs_serial_cold"] = \
+            rows["serial-cold"]["wall_s"] / row["wall_s"]
+        print(f"{name}: {row['wall_s']:.3f}s "
+              f"hits_remote={row['hits_remote']}"
+              + (f" fetched={remote['bytes_fetched']}B "
+                 f"stored={remote['bytes_stored']}B" if remote else ""))
+
+    payload = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    payload["remote"] = rows
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")

@@ -68,7 +68,7 @@ from repro.ppa.runner import DEFAULT_DT, PpaRunner
 from repro.resilience import FaultInjector, RetryPolicy
 from repro.tcad.device import Polarity, design_for_variant
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ChannelCount",

@@ -1,0 +1,25 @@
+"""Remote artifact cache server (``python -m repro.cachesrv``).
+
+Stores and serves :mod:`repro.engine.cache` entries by their existing
+content-addressed keys over a tiny stdlib HTTP protocol, so multiple
+hosts running sweeps share warm artifacts without a shared filesystem.
+The client side lives in :mod:`repro.engine.remote`.
+"""
+
+from repro.cachesrv.server import (
+    ARTIFACTS_PREFIX,
+    DIGEST_HEADER,
+    QUARANTINE_DIRNAME,
+    CacheServer,
+    CacheStore,
+    body_digest,
+)
+
+__all__ = [
+    "ARTIFACTS_PREFIX",
+    "DIGEST_HEADER",
+    "QUARANTINE_DIRNAME",
+    "CacheServer",
+    "CacheStore",
+    "body_digest",
+]

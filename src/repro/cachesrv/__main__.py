@@ -1,0 +1,49 @@
+"""CLI entry point: ``python -m repro.cachesrv --port 8787 --root DIR``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cachesrv.server import CacheServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cachesrv",
+        description="Serve a remote artifact cache over HTTP.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="bind port (default 0 = ephemeral)")
+    parser.add_argument("--root", default=None,
+                        help="store directory (default: a fresh temp dir)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    root = Path(args.root) if args.root else Path(
+        tempfile.mkdtemp(prefix="repro-cachesrv-"))
+    server = CacheServer(root, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    # Announce the bound address first: the chaos harness and the CI
+    # e2e parse this line to learn the ephemeral port.
+    print(f"repro-cachesrv listening on {server.url} root={root}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.httpd.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

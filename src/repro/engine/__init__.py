@@ -10,7 +10,11 @@ tasks it depends on.  The engine
   share one artefact, two tasks differing anywhere get distinct ones);
 * caches artefacts in memory and, via each stage's codec, in an on-disk
   JSON store (default ``~/.cache/repro``, overridable with the
-  ``REPRO_CACHE_DIR`` environment variable);
+  ``REPRO_CACHE_DIR`` environment variable), optionally backed by a
+  shared remote tier (``REPRO_REMOTE_CACHE=http://host:port`` pointing
+  at a ``python -m repro.cachesrv`` endpoint — see
+  :mod:`repro.engine.remote` for its retry/breaker/integrity fault
+  model);
 * fans independent tasks out over a pluggable execution backend with
   dependency-aware scheduling — deterministic in-process ``serial``
   order, a persistent warm-worker ``pool`` (shared-memory NumPy
@@ -44,6 +48,12 @@ from repro.engine.backends import (
     resolve_backend,
 )
 from repro.engine.cache import ArtifactCache, parse_size, resolve_cache_dir
+from repro.engine.remote import (
+    REMOTE_CACHE_ENV,
+    REMOTE_TIMEOUT_ENV,
+    RemoteCache,
+    resolve_remote_cache,
+)
 from repro.engine.durability import (
     EXIT_FAILURE,
     EXIT_INTERRUPTED,
@@ -102,6 +112,9 @@ __all__ = [
     "GracefulShutdown",
     "JournalState",
     "PoolBackend",
+    "REMOTE_CACHE_ENV",
+    "REMOTE_TIMEOUT_ENV",
+    "RemoteCache",
     "RunJournal",
     "RunManifest",
     "STATUS_COMPLETED",
@@ -130,6 +143,7 @@ __all__ = [
     "resolve_backend",
     "resolve_cache_dir",
     "resolve_lock_timeout",
+    "resolve_remote_cache",
     "resolve_shutdown_grace",
     "resolve_worker_count",
     "run_dir",

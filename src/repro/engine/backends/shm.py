@@ -30,9 +30,10 @@ copies.
 from __future__ import annotations
 
 import io
-import os
 import pickle
 from typing import Any, List, Tuple
+
+from repro.config import resolve_int
 
 try:  # pragma: no cover - present on every supported platform
     from multiprocessing import resource_tracker, shared_memory
@@ -47,8 +48,13 @@ try:
 except ImportError:  # pragma: no cover - numpy is a hard dep in practice
     np = None  # type: ignore[assignment]
 
-#: Arrays smaller than this stay in the pickle stream [bytes].
-SHM_MIN_BYTES = int(os.environ.get("REPRO_SHM_MIN_BYTES", 4096))
+#: Env var overriding the shared-memory size threshold [bytes].
+SHM_MIN_BYTES_ENV = "REPRO_SHM_MIN_BYTES"
+
+#: Arrays smaller than this stay in the pickle stream [bytes].  A
+#: malformed override fails here, at import, with a ConfigError
+#: naming the variable.
+SHM_MIN_BYTES = resolve_int(SHM_MIN_BYTES_ENV, 4096, minimum=0)
 
 _STUB = "repro.shm.ndarray"
 

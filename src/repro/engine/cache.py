@@ -41,8 +41,9 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.locks import FileLock, resolve_lock_timeout
+from repro.engine.remote import resolve_remote_cache
 from repro.engine.stages import StageDef
-from repro.errors import CacheLockTimeout, ReproError
+from repro.errors import CacheLockTimeout, ConfigError
 from repro.observe import get_tracer
 
 #: Environment variable overriding the on-disk store location.
@@ -77,12 +78,16 @@ _SIZE_RE = re.compile(r"^\s*(\d+)\s*([kKmMgG]?)[bB]?\s*$")
 _SIZE_FACTORS = {"": 1, "k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
 
 
-def parse_size(text: str) -> int:
-    """Parse a byte budget: plain int or ``K``/``M``/``G`` suffixed."""
+def parse_size(text: str, name: str = "size") -> int:
+    """Parse a byte budget: plain int or ``K``/``M``/``G`` suffixed.
+
+    ``name`` labels the :class:`ConfigError` (an env-var or parameter
+    name) so a malformed value fails at startup naming its source.
+    """
     match = _SIZE_RE.match(text)
     if not match:
-        raise ReproError(f"bad size {text!r}: expected bytes or e.g. "
-                         f"'512M'")
+        raise ConfigError(f"{name} must be bytes or e.g. '512M', "
+                          f"got {text!r}")
     return int(match.group(1)) * _SIZE_FACTORS[match.group(2).lower()]
 
 
@@ -101,15 +106,15 @@ def resolve_max_bytes(max_bytes: Optional[int] = None) -> Optional[int]:
     """Store budget: explicit > ``REPRO_CACHE_MAX_BYTES`` > unbounded."""
     if max_bytes is not None:
         if max_bytes <= 0:
-            raise ReproError(f"max_bytes must be positive, "
-                             f"got {max_bytes}")
+            raise ConfigError(f"max_bytes must be positive, "
+                              f"got {max_bytes}")
         return int(max_bytes)
     env = os.environ.get(CACHE_MAX_BYTES_ENV)
     if env:
-        value = parse_size(env)
+        value = parse_size(env, name=CACHE_MAX_BYTES_ENV)
         if value <= 0:
-            raise ReproError(f"{CACHE_MAX_BYTES_ENV} must be positive, "
-                             f"got {env!r}")
+            raise ConfigError(f"{CACHE_MAX_BYTES_ENV} must be positive, "
+                              f"got {env!r}")
         return value
     return None
 
@@ -130,13 +135,18 @@ class ArtifactCache:
     def __init__(self, cache_dir: Optional[os.PathLike] = None,
                  use_disk: bool = True,
                  max_bytes: Optional[int] = None,
-                 lock_timeout: Optional[float] = None):
+                 lock_timeout: Optional[float] = None,
+                 remote=None):
         self._memory: Dict[str, Any] = {}
         self.cache_dir = resolve_cache_dir(cache_dir) if use_disk else None
         self.max_bytes = resolve_max_bytes(max_bytes)
         self.lock_timeout = resolve_lock_timeout(lock_timeout)
+        #: Optional third tier: a RemoteCache instance, a base URL, or
+        #: None (resolve ``REPRO_REMOTE_CACHE``; unset = tier off).
+        self.remote = resolve_remote_cache(remote)
         self.hits_memory = 0
         self.hits_disk = 0
+        self.hits_remote = 0
         self.misses = 0
         self.corrupt = 0
         self.write_errors = 0
@@ -188,8 +198,45 @@ class ArtifactCache:
                 # lookup is a clean miss instead of a re-parse of the
                 # same bad bytes.
                 self._quarantine(path, stage.name, key)
+        if self.remote is not None and stage.persistent:
+            record = self.remote.fetch(stage.name, key)
+            if (record is not None
+                    and record.get("format") == STORE_FORMAT
+                    and record.get("version") == stage.version):
+                try:
+                    artifact = stage.decode(record["artifact"])
+                except Exception:
+                    # Digest-valid but undecodable (e.g. a peer on an
+                    # incompatible codec): treat as a miss, not corrupt.
+                    pass
+                else:
+                    self._memory[key] = artifact
+                    self.hits_remote += 1
+                    # Read-through: replicate to the disk tier so the
+                    # next process on this host hits locally.
+                    self._replicate_local(record, stage, key)
+                    return artifact, "remote"
         self.misses += 1
         return None, None
+
+    def _replicate_local(self, record: Dict, stage: StageDef,
+                         key: str) -> None:
+        """Best-effort disk publish of a remote-fetched record."""
+        if (self.cache_dir is None or not stage.persistent
+                or self._disk_writes_disabled):
+            return
+        lock = self._entry_lock(key)
+        if not lock.try_acquire():
+            return
+        try:
+            written = self._write_entry(record, stage, key,
+                                        evict_on_enospc=True)
+        finally:
+            lock.release()
+        if written:
+            self._touch(stage.name, key)
+            self._written_since_check += written
+            self._maybe_enforce_budget()
 
     def has_disk_entry(self, stage_name: str, key: str) -> bool:
         """True when the key has a published disk entry (unvalidated)."""
@@ -208,10 +255,18 @@ class ArtifactCache:
         writes for the rest of the run — visible through a tracer
         event plus the ``engine.cache.write_errors`` counter, never
         silent, never fatal.
+
+        When a remote tier is attached, the publish is mirrored there
+        write-behind (after the local layers, best-effort): a remote
+        failure costs nothing but the attempt — the breaker bounds
+        even that.
         """
         self._memory[key] = artifact
-        if (self.cache_dir is None or not stage.persistent
-                or self._disk_writes_disabled):
+        if not stage.persistent:
+            return
+        disk = (self.cache_dir is not None
+                and not self._disk_writes_disabled)
+        if not disk and self.remote is None:
             return
         record = {
             "format": STORE_FORMAT,
@@ -220,6 +275,16 @@ class ArtifactCache:
             "key": key,
             "artifact": stage.encode(artifact),
         }
+        if disk:
+            self._publish_disk(record, stage, key)
+        if self.remote is not None:
+            body = json.dumps(record, separators=(",", ":"),
+                              sort_keys=True).encode("utf-8")
+            self.remote.store(stage.name, key, body)
+
+    def _publish_disk(self, record: Dict, stage: StageDef,
+                      key: str) -> None:
+        """One locked, budget-enforcing disk publish (see :meth:`put`)."""
         lock = self._entry_lock(key)
         try:
             lock.acquire()
@@ -251,7 +316,12 @@ class ArtifactCache:
             # readers safe.
             fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, separators=(",", ":"))
+                # Canonical form (sorted keys) — the same bytes the
+                # remote tier stores, so an entry replicated from the
+                # remote store is byte-identical to a local publish of
+                # the same artifact.
+                json.dump(record, handle, separators=(",", ":"),
+                          sort_keys=True)
             self._maybe_kill_mid_write(stage.name)
             size = os.path.getsize(tmp_name)
             os.replace(tmp_name, path)
@@ -639,11 +709,17 @@ class ArtifactCache:
         """Drop the in-process layer (the disk layer is untouched)."""
         self._memory.clear()
 
-    def stats(self) -> Dict[str, int]:
+    @property
+    def remote_degraded(self) -> bool:
+        """True while the remote tier exists and its breaker is open."""
+        return self.remote is not None and self.remote.degraded
+
+    def stats(self) -> Dict[str, Any]:
         """Hit/miss/corruption/eviction counters since construction."""
-        return {
+        out: Dict[str, Any] = {
             "hits_memory": self.hits_memory,
             "hits_disk": self.hits_disk,
+            "hits_remote": self.hits_remote,
             "misses": self.misses,
             "corrupt": self.corrupt,
             "write_errors": self.write_errors,
@@ -654,6 +730,9 @@ class ArtifactCache:
             "flight_waits": self.flight_waits,
             "flight_timeouts": self.flight_timeouts,
         }
+        if self.remote is not None:
+            out["remote"] = self.remote.stats()
+        return out
 
     def _entry_lock(self, key: str) -> FileLock:
         """The bucket lock serialising writes/evictions of a key."""

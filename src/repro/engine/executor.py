@@ -57,6 +57,7 @@ import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.config import require_int
 from repro.deprecation import warn_deprecated
 from repro.engine.backends import (
     BACKEND_ENV,
@@ -152,21 +153,18 @@ class EngineRun:
 
 
 def resolve_worker_count(max_workers: Optional[int] = None) -> int:
-    """Worker count: explicit > ``REPRO_MAX_WORKERS`` > cpu count."""
+    """Worker count: explicit > ``REPRO_MAX_WORKERS`` > cpu count.
+
+    Malformed values fail at startup with a :class:`ConfigError`
+    naming their source (the env var or the parameter).
+    """
     if max_workers is None:
         env = os.environ.get(MAX_WORKERS_ENV)
         if env:
-            try:
-                max_workers = int(env)
-            except ValueError:
-                raise ReproError(
-                    f"{MAX_WORKERS_ENV} must be an integer, "
-                    f"got {env!r}") from None
+            max_workers = require_int(MAX_WORKERS_ENV, env, minimum=1)
     if max_workers is None:
         max_workers = os.cpu_count() or 1
-    if max_workers < 1:
-        raise ReproError(f"max_workers must be >= 1, got {max_workers}")
-    return max_workers
+    return require_int("max_workers", max_workers, minimum=1)
 
 
 def _traceback_tail(exc: BaseException) -> str:
@@ -197,6 +195,11 @@ class Engine:
     cache:
         Share an existing :class:`ArtifactCache`; by default each engine
         owns one resolved from ``cache_dir`` / ``REPRO_CACHE_DIR``.
+    remote:
+        Remote cache tier for the engine-owned cache: a
+        :class:`~repro.engine.remote.RemoteCache`, a base URL string,
+        or ``None`` (resolve ``REPRO_REMOTE_CACHE``; unset = tier
+        off).  Ignored when ``cache`` is shared in.
     observe:
         Observability control: ``None`` inherits the active tracer
         (``REPRO_TRACE`` env var by default), ``True``/``False`` force
@@ -221,7 +224,8 @@ class Engine:
                  observe: Any = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  on_error: str = "raise",
-                 backend: Optional[Union[str, ExecutionBackend]] = None):
+                 backend: Optional[Union[str, ExecutionBackend]] = None,
+                 remote=None):
         if on_error not in ON_ERROR_MODES:
             raise ReproError(f"on_error must be one of {ON_ERROR_MODES}, "
                              f"got {on_error!r}")
@@ -242,7 +246,8 @@ class Engine:
             resolved = backend_for_workers(max_workers)
         self.backend = resolved
         self.cache = cache or ArtifactCache(cache_dir=cache_dir,
-                                            use_disk=use_disk)
+                                            use_disk=use_disk,
+                                            remote=remote)
         if (self.backend.requires_disk_cache
                 and self.cache.cache_dir is None):
             raise ReproError(

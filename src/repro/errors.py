@@ -68,6 +68,7 @@ class ConvergenceError(ReproError):
     """
 
     code = "solver.convergence"
+    retryable = False
 
     def __init__(self, message: str, iterations: int = -1,
                  residual: float = float("nan")):
@@ -89,6 +90,7 @@ class ConfigError(ReproError):
     """
 
     code = "config.invalid"
+    retryable = False
 
 
 class TaskTimeoutError(ReproError):
@@ -156,6 +158,7 @@ class EngineRunError(ReproError):
     """
 
     code = "engine.run_failed"
+    retryable = False
 
     def __init__(self, message: str, failures=()):
         super().__init__(message)
@@ -177,48 +180,107 @@ class MeshError(ReproError):
     """Invalid mesh specification (non-monotonic points, empty region...)."""
 
     code = "tcad.mesh"
+    retryable = False
 
 
 class MaterialError(ReproError):
     """Unknown material or invalid material parameter."""
 
     code = "materials.invalid"
+    retryable = False
 
 
 class NetlistError(ReproError):
     """Malformed netlist: dangling node, duplicate element, missing ground."""
 
     code = "spice.netlist"
+    retryable = False
 
 
 class SingularMatrixError(ReproError):
     """The MNA system is singular (floating node or short loop)."""
 
     code = "spice.singular_matrix"
+    retryable = False
 
 
 class ExtractionError(ReproError):
     """Parameter extraction failed (bad targets, optimizer failure)."""
 
     code = "extraction.failed"
+    retryable = False
 
 
 class LayoutError(ReproError):
     """Design-rule violation or impossible layout request."""
 
     code = "layout.violation"
+    retryable = False
 
 
 class CellLibraryError(ReproError):
     """Unknown cell or malformed cell topology."""
 
     code = "cells.unknown"
+    retryable = False
 
 
 class SimulationError(ReproError):
     """A simulation request was invalid (bad sweep, missing analysis)."""
 
     code = "simulation.invalid"
+    retryable = False
+
+
+# ----------------------------------------------------------------------
+# remote-cache-tier errors (repro.engine.remote / repro.cachesrv)
+# ----------------------------------------------------------------------
+class RemoteCacheError(ReproError):
+    """Base class of remote cache tier failures.
+
+    Every subclass is transient by design: the remote tier is an
+    *accelerator*, never a correctness dependency — a failed remote
+    operation degrades the run to local-only computation, and the same
+    request can sensibly be retried once the endpoint recovers.
+    """
+
+    code = "cache.remote.error"
+    retryable = True
+
+
+class RemoteCacheTimeout(RemoteCacheError):
+    """A remote cache operation exceeded its ``REPRO_REMOTE_TIMEOUT``
+    budget (slow endpoint, delayed response, black-holed packets)."""
+
+    code = "cache.remote.timeout"
+    retryable = True
+
+
+class RemoteCacheIntegrityError(RemoteCacheError):
+    """A fetched remote entry failed integrity verification.
+
+    The body's recomputed SHA-256 did not match the digest it was
+    published with (or the envelope names the wrong key/stage) — the
+    fetch is retried once (wire corruption is transient), and a second
+    mismatch quarantines the entry server-side and is treated as a
+    miss.  A corrupt remote entry must never poison a run.
+    """
+
+    code = "cache.remote.integrity"
+    retryable = True
+
+
+class RemoteCacheUnavailable(RemoteCacheError):
+    """The remote cache endpoint is unreachable or refusing work.
+
+    Raised for connection failures and 5xx responses; consecutive
+    occurrences trip the tier's circuit breaker, after which the
+    client degrades to local-only operation and re-probes the
+    endpoint once per breaker reset window.
+    """
+
+    code = "cache.remote.unavailable"
+    retryable = True
 
 
 # ----------------------------------------------------------------------
@@ -233,6 +295,7 @@ class ServeError(ReproError):
     """
 
     code = "serve.error"
+    retryable = False
     http_status: int = 500
 
     def __init__(self, message: str, retry_after=None):
@@ -244,6 +307,7 @@ class InvalidRequest(ServeError):
     """The request body or headers cannot describe a valid run."""
 
     code = "serve.bad_request"
+    retryable = False
     http_status = 400
 
 

@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--grace", type=float, default=None,
                        help="shutdown drain window in seconds "
                             "(default REPRO_SHUTDOWN_GRACE)")
+        p.add_argument("--remote-cache", metavar="URL", default=None,
+                       help="remote artifact cache endpoint, e.g. "
+                            "http://host:port of a 'python -m "
+                            "repro.cachesrv' (default "
+                            "REPRO_REMOTE_CACHE; failures degrade to "
+                            "local-only, never fail the run)")
         p.add_argument("--json", action="store_true",
                        help="print a JSON summary instead of text")
         p.add_argument("--quiet", action="store_true",
@@ -129,7 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _report(run: DurableFlowRun, as_json: bool, quiet: bool) -> None:
+def _report(run: DurableFlowRun, as_json: bool, quiet: bool,
+            engine: Optional[Engine] = None) -> None:
+    cache_stats = (engine.cache.stats()
+                   if engine is not None else None)
     if as_json:
         # the headline claims compare against the MIV variants, which
         # a reduced flow may not include — that is not an error
@@ -145,10 +154,17 @@ def _report(run: DurableFlowRun, as_json: bool, quiet: bool) -> None:
             "headline": headline,
             "summary": run.result.manifest.summary(),
         }
+        if cache_stats is not None:
+            payload["cache"] = cache_stats
         print(json.dumps(payload, indent=2, sort_keys=True))
         return
     print(f"run {run.run_id}: completed"
           + (f" (resume #{run.resumed})" if run.resumed else ""))
+    if cache_stats is not None and "remote" in cache_stats:
+        remote = cache_stats["remote"]
+        print(f"remote cache: hits={cache_stats['hits_remote']} "
+              f"stores={remote['stores']} errors={remote['errors']} "
+              f"degraded={remote['degraded']}")
     if not quiet and run.result.manifest is not None:
         print(run.result.manifest.render())
 
@@ -179,8 +195,9 @@ def _cmd_list(args) -> int:
 
 
 def _engine_for(args) -> Optional[Engine]:
+    remote = getattr(args, "remote_cache", None)
     if (args.cache_dir is None and args.workers is None
-            and args.backend is None):
+            and args.backend is None and remote is None):
         return None
     backend = args.backend
     if backend is None and args.workers is not None:
@@ -188,7 +205,8 @@ def _engine_for(args) -> Optional[Engine]:
                    else f"pool:{args.workers}")
     elif backend == "pool" and args.workers is not None:
         backend = f"pool:{args.workers}"
-    return Engine(backend=backend, cache_dir=args.cache_dir)
+    return Engine(backend=backend, cache_dir=args.cache_dir,
+                  remote=remote)
 
 
 def _rewrite_resume_alias(argv: List[str]) -> List[str]:
@@ -220,15 +238,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list(args)
 
+    engine = _engine_for(args)
     try:
         if args.command == "run":
             run = run_durable_flow(
                 cells=args.cells, variants=args.variants,
                 extraction_variants=args.extraction_variants,
-                dt=args.dt, engine=_engine_for(args),
+                dt=args.dt, engine=engine,
                 run_id=args.run_id, grace=args.grace)
         else:
-            run = resume_run(args.run_id, engine=_engine_for(args),
+            run = resume_run(args.run_id, engine=engine,
                              grace=args.grace)
     except RunInterrupted as exc:
         print(f"run {exc.run_id} interrupted; resume with:\n"
@@ -239,7 +258,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_FAILURE
 
-    _report(run, args.json, args.quiet)
+    _report(run, args.json, args.quiet, engine=engine)
     return EXIT_OK
 
 

@@ -4,7 +4,13 @@ The failure-domain layer of the pipeline.  Three pieces:
 
 * :mod:`repro.resilience.retry` — :class:`RetryPolicy`, the engine's
   per-task retry/backoff/timeout knobs (``REPRO_TASK_RETRIES``,
-  ``REPRO_TASK_TIMEOUT``);
+  ``REPRO_TASK_TIMEOUT``), plus jittered backoff for network callers;
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`, the
+  three-state (closed/open/half-open) breaker bounding the cost of a
+  dead dependency to one failed probe per reset window;
+* :mod:`repro.resilience.netchaos` — :class:`ChaosProxy`, the
+  fault-injecting HTTP proxy (drop, delay, truncate, corrupt,
+  500-burst) that chaos-tests the remote cache tier;
 * :mod:`repro.resilience.rescue` — :func:`continue_solve`, the adaptive
   parameter-continuation primitive the solver rescue ladders share;
 * :mod:`repro.resilience.faults` — :class:`FaultInjector`, the
@@ -20,6 +26,12 @@ See the "Fault tolerance" sections of README.md / DESIGN.md for the
 end-to-end semantics (retry → continue → resume).
 """
 
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
 from repro.resilience.chaos import (
     ChaosReport,
     FlowOutcome,
@@ -55,8 +67,19 @@ from repro.resilience.retry import (
     resolve_retry_policy,
 )
 
+from repro.resilience.netchaos import (
+    ChaosProxy,
+    NetFaultPlan,
+)
+
 __all__ = [
+    "ChaosProxy",
     "ChaosReport",
+    "CircuitBreaker",
+    "NetFaultPlan",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
     "ContinuationResult",
     "FAULTS_ENV",
     "FlowOutcome",

@@ -56,6 +56,9 @@ def repro_env(cache_dir: os.PathLike,
     env["PYTHONPATH"] = (src_root + os.pathsep + existing
                          if existing else src_root)
     env["REPRO_CACHE_DIR"] = str(cache_dir)
+    # Chaos invocations are local-only unless the experiment wires a
+    # remote endpoint back in via ``extra``.
+    env.pop("REPRO_REMOTE_CACHE", None)
     if faults:
         env[FAULTS_ENV] = faults
     else:

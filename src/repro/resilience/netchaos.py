@@ -1,0 +1,252 @@
+"""Fault-injecting HTTP proxy: the network's chaos harness.
+
+Where :mod:`repro.resilience.faults` injects failures *inside* the
+process and :mod:`repro.resilience.chaos` kills whole processes, this
+module breaks the *wire*.  A :class:`ChaosProxy` sits between a
+:class:`~repro.engine.remote.RemoteCache` client and a
+``repro.cachesrv`` endpoint and injects the five ways a network tier
+actually fails:
+
+* ``drop`` — close the connection without any response (a black hole /
+  RST; the client sees a dropped connection);
+* ``delay`` — stall past the client's ``REPRO_REMOTE_TIMEOUT`` budget
+  before answering (the slow-failure mode that motivates per-operation
+  budgets in the first place);
+* ``truncate`` — send the full ``Content-Length`` but only half the
+  body, then close (a torn response: the client must detect the short
+  read, never parse half an entry);
+* ``corrupt`` — flip bytes mid-body with the length intact (only the
+  integrity digest can catch this one);
+* ``error500`` — answer ``500`` without consulting upstream (a
+  crashing/overloaded server; bursts of these must trip the breaker).
+
+Faults draw from a seeded :class:`random.Random` in request order, so
+a chaos experiment replays exactly given the same seed and traffic —
+the same determinism contract as ``REPRO_FAULTS``.  A
+:class:`NetFaultPlan` parses ``"drop=0.2,corrupt=0.1,seed=7"`` specs
+(mirroring the fault-rule grammar) for CLI/CI use.
+
+The proxy asserts nothing itself: the experiment is "run the flow
+through the proxy, then assert artifacts are bit-identical to the
+serial local-only baseline" (see ``remote-flaky`` in
+:mod:`repro.verify.parity`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.config import require_finite_float, require_int
+from repro.errors import ConfigError
+
+#: Fault kinds in deterministic draw order.
+FAULT_KINDS = ("drop", "delay", "truncate", "corrupt", "error500")
+
+#: Default stall of a ``delay`` fault [s] — must exceed the client's
+#: per-operation budget to exercise the timeout path.
+DEFAULT_DELAY_S = 5.0
+
+#: Hop-by-hop headers never forwarded by a proxy.
+_HOP_HEADERS = {"connection", "keep-alive", "transfer-encoding",
+                "te", "trailer", "upgrade", "proxy-authorization",
+                "proxy-connection", "host", "content-length"}
+
+
+class NetFaultPlan:
+    """Per-request fault probabilities + the seeded draw.
+
+    Each incoming request draws once per fault kind, in the fixed
+    :data:`FAULT_KINDS` order, and the first winning kind fires — so a
+    plan's behaviour is a pure function of ``(seed, request index)``.
+    """
+
+    def __init__(self, drop: float = 0.0, delay: float = 0.0,
+                 truncate: float = 0.0, corrupt: float = 0.0,
+                 error500: float = 0.0, delay_s: float = DEFAULT_DELAY_S,
+                 seed: int = 0):
+        probabilities = {"drop": drop, "delay": delay,
+                         "truncate": truncate, "corrupt": corrupt,
+                         "error500": error500}
+        for kind, value in probabilities.items():
+            number = require_finite_float(kind, value, minimum=0.0)
+            if number > 1.0:
+                raise ConfigError(f"{kind} must be a probability "
+                                  f"within [0, 1], got {value!r}")
+            probabilities[kind] = number
+        self.probabilities = probabilities
+        self.delay_s = require_finite_float("delay_s", delay_s,
+                                            positive=True)
+        self.seed = require_int("seed", seed, minimum=0)
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, spec: str) -> "NetFaultPlan":
+        """Parse ``"drop=0.2,corrupt=0.1,seed=7"`` style specs."""
+        kwargs: Dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigError(f"bad net-fault option {part!r}: "
+                                  f"expected key=value")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in FAULT_KINDS + ("delay_s", "seed"):
+                raise ConfigError(f"unknown net-fault option {key!r} "
+                                  f"(have {', '.join(FAULT_KINDS)}, "
+                                  f"delay_s, seed)")
+            kwargs[key] = int(value) if key == "seed" else float(value)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def draw(self) -> Optional[str]:
+        """The fault this request suffers, or None (forward cleanly)."""
+        with self._lock:
+            for kind in FAULT_KINDS:
+                p = self.probabilities[kind]
+                if p > 0 and self._rng.random() < p:
+                    return kind
+        return None
+
+
+class _ProxyHandler(BaseHTTPRequestHandler):
+    """Forward one request upstream, through the fault plan."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-chaosproxy"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def proxy(self) -> "ChaosProxy":
+        return self.server.proxy  # type: ignore[attr-defined]
+
+    def _handle(self) -> None:
+        try:
+            self._handle_inner()
+        except (BrokenPipeError, ConnectionResetError):
+            # The client gave up (timed out) before the response made
+            # it out — exactly what a delay fault is for.  Not an
+            # error worth a stderr traceback.
+            self.close_connection = True
+
+    def _handle_inner(self) -> None:
+        proxy = self.proxy
+        fault = proxy.plan.draw()
+        if fault is not None:
+            proxy.count(fault)
+        if fault == "drop":
+            # No response at all: the client sees the connection die.
+            self.close_connection = True
+            return
+        if fault == "error500":
+            body = b'{"error": "injected 500"}'
+            self.send_response(500)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if fault == "delay":
+            # Stall past the client's budget, then answer normally —
+            # the client must already have given up; if it didn't, the
+            # response is still well-formed.
+            time.sleep(proxy.plan.delay_s)
+        status, body, headers = self._forward()
+        if fault == "corrupt" and body:
+            # Flip a byte mid-body, length intact: only the digest
+            # check can catch this.
+            middle = len(body) // 2
+            body = (body[:middle] + bytes([body[middle] ^ 0xFF])
+                    + body[middle + 1:])
+        self.send_response(status)
+        for name, value in headers.items():
+            if name.lower() not in _HOP_HEADERS:
+                self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        if fault == "truncate" and len(body) > 1:
+            # Full Content-Length, half the bytes, then a dead socket.
+            self.end_headers()
+            self.wfile.write(body[:len(body) // 2])
+            self.wfile.flush()
+            self.close_connection = True
+            return
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+        proxy.forwarded += 1
+
+    def _forward(self):
+        """One clean upstream exchange (status, body, headers)."""
+        length = int(self.headers.get("Content-Length") or 0)
+        payload = self.rfile.read(length) if length else None
+        headers = {name: value for name, value in self.headers.items()
+                   if name.lower() not in _HOP_HEADERS}
+        request = urllib.request.Request(
+            self.proxy.upstream + self.path, data=payload,
+            method=self.command, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=30.0) as response:
+                return (response.status, response.read(),
+                        dict(response.headers.items()))
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read(), dict(exc.headers.items())
+        except OSError as exc:
+            body = (f'{{"error": "upstream unreachable: '
+                    f'{type(exc).__name__}"}}').encode("utf-8")
+            return 502, body, {}
+
+    do_GET = _handle    # noqa: N815 - stdlib naming
+    do_PUT = _handle    # noqa: N815 - stdlib naming
+    do_DELETE = _handle  # noqa: N815 - stdlib naming
+    do_POST = _handle   # noqa: N815 - stdlib naming
+
+
+class ChaosProxy:
+    """A bound fault-injecting proxy in front of ``upstream``."""
+
+    def __init__(self, upstream: str, plan: NetFaultPlan,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.upstream = upstream.rstrip("/")
+        self.plan = plan
+        self.forwarded = 0
+        self.faults: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._counter_lock = threading.Lock()
+        self.httpd = ThreadingHTTPServer((host, port), _ProxyHandler)
+        self.httpd.proxy = self  # type: ignore[attr-defined]
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    def count(self, kind: str) -> None:
+        with self._counter_lock:
+            self.faults[kind] += 1
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def serve_in_thread(self) -> "ChaosProxy":
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="repro-chaosproxy",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -7,11 +7,19 @@ env ``REPRO_TASK_RETRIES``), how long to wait between attempts
 optional per-task wall-time budget (``timeout``, env
 ``REPRO_TASK_TIMEOUT``) enforced by the parallel engine (a serial
 in-process run cannot preempt a compute function).
+
+Network callers (the remote cache tier) additionally set ``jitter``:
+a fraction of each delay randomised away so N clients that fail
+together do not retry together (a thundering herd against a recovering
+endpoint).  A jittered delay always stays within ``[backoff,
+backoff_cap]`` — jitter de-synchronises retries, it never makes one
+earlier than the base delay or later than the cap.
 """
 
 from __future__ import annotations
 
 import os
+import random
 from dataclasses import dataclass
 from typing import Optional
 
@@ -41,12 +49,18 @@ class RetryPolicy:
         preemption-capable backends (the pool kills and respawns the
         overdue worker); in-process backends cannot preempt a running
         compute function.
+    jitter:
+        Fraction of each backoff delay randomised away (``0`` = fully
+        deterministic delays, ``0.5`` = each delay lands uniformly in
+        the upper half of its exponential rung).  The jittered delay is
+        always clamped to ``[backoff, backoff_cap]``.
     """
 
     retries: int = 0
     backoff: float = 0.05
     backoff_cap: float = 2.0
     timeout: Optional[float] = None
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -55,17 +69,34 @@ class RetryPolicy:
             raise ReproError("backoff delays must be >= 0")
         if self.timeout is not None and self.timeout <= 0:
             raise ReproError(f"timeout must be positive, got {self.timeout}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(f"jitter must be within [0, 1], "
+                             f"got {self.jitter}")
 
     @property
     def attempts(self) -> int:
         """Total attempts a task gets (first try + retries)."""
         return self.retries + 1
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
+    def delay(self, attempt: int,
+              rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        With ``jitter`` set and an ``rng`` supplied, the exponential
+        rung ``min(cap, backoff * 2**(attempt-1))`` is scaled down by
+        up to ``jitter`` of itself, then clamped back into
+        ``[backoff, backoff_cap]`` so a jittered retry never fires
+        before the base delay nor after the cap.  Without an ``rng``
+        the delay is the deterministic rung (engine-task retries stay
+        reproducible).
+        """
         if self.backoff <= 0:
             return 0.0
-        return min(self.backoff_cap, self.backoff * (2.0 ** (attempt - 1)))
+        rung = min(self.backoff_cap, self.backoff * (2.0 ** (attempt - 1)))
+        if self.jitter <= 0 or rng is None:
+            return rung
+        scaled = rung * (1.0 - self.jitter * rng.random())
+        return min(self.backoff_cap, max(self.backoff, scaled))
 
     @classmethod
     def from_env(cls) -> "RetryPolicy":

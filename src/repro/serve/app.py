@@ -94,6 +94,10 @@ class ServeApp:
             thread_name_prefix="repro-serve")
         self.draining = False
         self.cache_degraded = False
+        #: Remote-tier degradation is *not* sticky: the breaker
+        #: re-attaches when the endpoint recovers, and health follows.
+        self.remote_degraded = False
+        self.metrics.gauge("engine.cache.remote.degraded").set(0.0)
         #: (tenant, request_key) -> Future of the leader's response.
         self._inflight: Dict[Tuple[str, str], "asyncio.Future"] = {}
         #: Cancellation tokens of requests currently executing.
@@ -108,7 +112,8 @@ class ServeApp:
         """Current rung: ``ok``, ``degraded`` or ``draining``."""
         if self.draining:
             return HEALTH_DRAINING
-        if (self.cache_degraded or self.admission.consecutive_sheds
+        if (self.cache_degraded or self.remote_degraded
+                or self.admission.consecutive_sheds
                 >= SHED_DEGRADE_THRESHOLD):
             return HEALTH_DEGRADED
         return HEALTH_OK
@@ -299,8 +304,16 @@ class ServeApp:
         try:
             response = await loop.run_in_executor(
                 self.executor, self.runner, request, tenant, token)
-            if response.get("degraded"):
+            # Runners that predate the remote tier only emit the
+            # combined "degraded" flag; treat it as the sticky local
+            # kind when the split keys are absent.
+            if response.get("cache_degraded",
+                            response.get("degraded", False)):
                 self.cache_degraded = True
+            self.remote_degraded = bool(
+                response.get("remote_degraded", False))
+            self.metrics.gauge("engine.cache.remote.degraded").set(
+                1.0 if self.remote_degraded else 0.0)
             response["degraded"] = (response.get("degraded", False)
                                     or self.health() == HEALTH_DEGRADED)
             if not future.done():

@@ -201,17 +201,26 @@ class FlowRunner:
     @staticmethod
     def _response(run: DurableFlowRun, tenant: Tenant,
                   engine: Engine) -> Dict[str, Any]:
-        degraded = engine.cache.write_errors > 0
+        # Local disk degradation is sticky for the process (a broken
+        # disk stays broken); remote-tier degradation is transient —
+        # the breaker re-attaches when the endpoint recovers — so the
+        # two travel as separate keys and the app flags them apart.
+        cache_degraded = engine.cache.write_errors > 0
+        remote_degraded = engine.cache.remote_degraded
         result = run.result
         body: Dict[str, Any] = {
             "status": "completed",
             "run_id": run.run_id,
             "tenant": tenant.name,
             "resumed": run.resumed,
-            "degraded": degraded,
+            "degraded": cache_degraded or remote_degraded,
+            "cache_degraded": cache_degraded,
+            "remote_degraded": remote_degraded,
             "manifest": result.manifest.summary()
             if result.manifest is not None else None,
         }
+        if engine.cache.remote is not None:
+            body["remote_cache"] = engine.cache.remote.stats()
         headline = _headline_or_none(result)
         if headline is not None:
             body["headline"] = headline

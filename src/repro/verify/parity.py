@@ -87,6 +87,17 @@ class ParityCell:
         that cooperatively drain one task graph through filesystem
         leases (also requires zero quarantined entries).
         ``None`` = plain in-process mode.
+    remote:
+        Remote-cache-tier scenario: ``"flaky"`` runs a live
+        ``repro.cachesrv`` behind a fault-injecting
+        :class:`~repro.resilience.netchaos.ChaosProxy` (drop / delay /
+        truncate / corrupt / 500-burst), seeds the remote store through
+        the proxy, then replays from a cold local cache — the replay
+        must still be bit-identical and must land at least one remote
+        hit; ``"down"`` points ``REPRO_REMOTE_CACHE`` at a dead
+        endpoint — the run must complete locally (no task failure)
+        with the tier degraded (breaker open).  ``None`` = no remote
+        tier (the variable is stripped for the run).
     """
 
     name: str
@@ -102,6 +113,7 @@ class ParityCell:
     kernels: Optional[str] = None
     sparse_threshold: Optional[int] = None
     chaos: Optional[str] = None
+    remote: Optional[str] = None
 
 
 #: The matrix: {serial, parallel} x {traced, untraced} x {cold, warm}
@@ -181,6 +193,19 @@ PARITY_MATRIX: Tuple[ParityCell, ...] = (
                     "tolerance-equal",
         kernels="loop,sparse", sparse_threshold=1,
         comparison="tolerance", tolerance="numeric"),
+    ParityCell(
+        name="remote-flaky",
+        description="remote cache behind a fault-injecting proxy "
+                    "(drop/delay/truncate/corrupt/500): seed through "
+                    "chaos, replay cold-local with >=1 remote hit "
+                    "(must stay bit-identical)",
+        remote="flaky"),
+    ParityCell(
+        name="remote-down",
+        description="remote endpoint fully dead: run degrades to "
+                    "local-only (breaker open, zero task failures, "
+                    "must stay bit-identical)",
+        remote="down"),
 )
 
 #: Modes of the fast suite (one representative per mechanism).
@@ -310,23 +335,109 @@ def _run_chaos_mode(cell: ParityCell, cache_dir: Path,
     raise ReproError(f"unknown chaos scenario {cell.chaos!r}")
 
 
+def _run_remote_mode(cell: ParityCell, cache_dir: Path,
+                     flow_kwargs: Dict[str, Any]):
+    """Execute one remote-cache-tier scenario (flaky proxy / dead
+    endpoint) and enforce its side conditions."""
+    from repro.engine import remote as remote_mod
+    from repro.errors import ReproError
+    from repro.flows.full_flow import run_full_flow
+
+    def _with_env(overrides: Dict[str, str], fn):
+        saved = {key: os.environ.get(key) for key in overrides}
+        os.environ.update(overrides)
+        try:
+            return fn()
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+    if cell.remote == "down":
+        # Reserved/discard port: every connect is refused instantly.
+        overrides = {
+            remote_mod.REMOTE_CACHE_ENV: "http://127.0.0.1:9",
+            remote_mod.REMOTE_TIMEOUT_ENV: "0.2",
+            remote_mod.REMOTE_RETRIES_ENV: "0",
+            remote_mod.REMOTE_BREAKER_THRESHOLD_ENV: "2",
+        }
+        engine = _with_env(overrides, lambda: Engine(
+            backend="serial", cache_dir=cache_dir))
+        flow = run_full_flow(engine=engine, **flow_kwargs)
+        tier = engine.cache.remote
+        if tier is None:
+            raise ReproError("remote-down mode did not attach a "
+                             "remote tier")
+        if not engine.cache.remote_degraded:
+            raise ReproError(
+                f"remote-down run never degraded: {tier.stats()}")
+        return flow
+    if cell.remote == "flaky":
+        from repro.cachesrv import CacheServer
+        from repro.resilience.netchaos import ChaosProxy, NetFaultPlan
+        server = CacheServer(
+            cache_dir / "remote-store").serve_in_thread()
+        plan = NetFaultPlan(drop=0.08, delay=0.03, truncate=0.08,
+                            corrupt=0.08, error500=0.08,
+                            delay_s=1.0, seed=20260808)
+        proxy = ChaosProxy(server.url, plan).serve_in_thread()
+        overrides = {
+            remote_mod.REMOTE_CACHE_ENV: proxy.url,
+            remote_mod.REMOTE_TIMEOUT_ENV: "0.5",
+            remote_mod.REMOTE_RETRIES_ENV: "3",
+            remote_mod.REMOTE_BREAKER_RESET_ENV: "0.2",
+        }
+        try:
+            # Seed the remote store through the chaos proxy...
+            seed_engine = _with_env(overrides, lambda: Engine(
+                backend="serial", cache_dir=cache_dir / "seed"))
+            run_full_flow(engine=seed_engine, **flow_kwargs)
+            # ...then replay from a cold local cache: artifacts must
+            # come out identical whether a fetch survived the chaos or
+            # fell through to a local recompute.
+            replay_engine = _with_env(overrides, lambda: Engine(
+                backend="serial", cache_dir=cache_dir / "replay"))
+            flow = _with_env(overrides, lambda: run_full_flow(
+                engine=replay_engine, **flow_kwargs))
+        finally:
+            proxy.close()
+            server.close()
+        tier = replay_engine.cache.remote
+        if tier is None:
+            raise ReproError("remote-flaky mode did not attach a "
+                             "remote tier")
+        if replay_engine.cache.hits_remote < 1:
+            raise ReproError(
+                f"remote-flaky replay landed no remote hit: "
+                f"{tier.stats()}; proxy faults {proxy.faults}")
+        return flow
+    from repro.errors import ReproError as _ReproError
+    raise _ReproError(f"unknown remote scenario {cell.remote!r}")
+
+
 def _run_mode(cell: ParityCell, cache_dir: Path,
               flow_kwargs: Dict[str, Any]):
     """Execute the reduced flow under one mode's engine/fault setup."""
+    from repro.engine.remote import REMOTE_CACHE_ENV
     from repro.flows.full_flow import run_full_flow
     from repro.observe import Tracer
     if cell.chaos is not None:
         return _run_chaos_mode(cell, cache_dir, flow_kwargs)
+    if cell.remote is not None:
+        return _run_remote_mode(cell, cache_dir, flow_kwargs)
     backend = cell.backend or ("serial" if cell.max_workers == 1
                                else f"pool:{cell.max_workers}")
-    engine = Engine(
-        backend=backend, cache_dir=cache_dir,
-        retry_policy=RetryPolicy(retries=cell.retries, backoff=0.0))
     injector = (FaultInjector.parse(cell.faults)
                 if cell.faults else None)
     observe = Tracer() if cell.traced else None
     install(injector) if injector else clear_faults()
-    overrides = {}
+    overrides = {
+        # Local-only modes must stay local even when the session
+        # exports a remote endpoint.
+        REMOTE_CACHE_ENV: "",
+    }
     if cell.kernels is not None:
         overrides[kernels.KERNEL_ENV] = cell.kernels
     if cell.sparse_threshold is not None:
@@ -335,6 +446,9 @@ def _run_mode(cell: ParityCell, cache_dir: Path,
     saved = {key: os.environ.get(key) for key in overrides}
     os.environ.update(overrides)
     try:
+        engine = Engine(
+            backend=backend, cache_dir=cache_dir,
+            retry_policy=RetryPolicy(retries=cell.retries, backoff=0.0))
         return run_full_flow(engine=engine, observe=observe,
                              **flow_kwargs)
     finally:

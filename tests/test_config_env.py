@@ -158,6 +158,46 @@ class TestTimingKnobs:
             resolve_shutdown_grace()
 
 
+class TestEngineKnobs:
+    """Engine/cache knobs migrated onto the validated resolvers: a
+    malformed value fails at startup with a ConfigError naming the
+    variable, never half-works."""
+
+    def test_cache_max_bytes_rejects_garbage(self, monkeypatch):
+        from repro.engine.cache import CACHE_MAX_BYTES_ENV, \
+            resolve_max_bytes
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "lots")
+        with pytest.raises(ConfigError, match=CACHE_MAX_BYTES_ENV):
+            resolve_max_bytes()
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "512M")
+        assert resolve_max_bytes() == 512 * 1024**2
+
+    def test_max_workers_rejects_bad_env(self, monkeypatch):
+        from repro.engine.executor import MAX_WORKERS_ENV, \
+            resolve_worker_count
+        for bad in ("0", "-2", "many", "2.5"):
+            monkeypatch.setenv(MAX_WORKERS_ENV, bad)
+            with pytest.raises(ConfigError, match=MAX_WORKERS_ENV):
+                resolve_worker_count()
+        monkeypatch.setenv(MAX_WORKERS_ENV, "3")
+        assert resolve_worker_count() == 3
+
+    @pytest.mark.parametrize("env_name,bad", [
+        ("REPRO_REMOTE_TIMEOUT", "0"),
+        ("REPRO_REMOTE_TIMEOUT", "nan"),
+        ("REPRO_REMOTE_RETRIES", "-1"),
+        ("REPRO_REMOTE_RETRIES", "2.5"),
+        ("REPRO_REMOTE_BREAKER_THRESHOLD", "0"),
+        ("REPRO_REMOTE_BREAKER_RESET", "-3"),
+    ])
+    def test_remote_knobs_fail_at_construction(self, monkeypatch,
+                                               env_name, bad):
+        from repro.engine.remote import RemoteCache
+        monkeypatch.setenv(env_name, bad)
+        with pytest.raises(ConfigError, match=env_name):
+            RemoteCache("http://127.0.0.1:9")
+
+
 class TestServeConfig:
     def test_defaults(self, tmp_path, monkeypatch):
         for env in (QUEUE_ENV, WORKERS_ENV, TENANT_RPS_ENV,

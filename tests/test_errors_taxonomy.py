@@ -51,6 +51,19 @@ class TestTaxonomy:
         for cls in all_error_classes():
             assert isinstance(cls.retryable, bool), cls
 
+    def test_retryable_is_explicit_on_every_class(self):
+        """Every class states its own ``retryable`` — a new error type
+        must make the call, not silently inherit a default."""
+        for cls in all_error_classes():
+            assert "retryable" in cls.__dict__, (
+                f"{cls.__name__} inherits retryable implicitly; "
+                f"declare it explicitly")
+
+    def test_code_is_explicit_on_every_class(self):
+        for cls in all_error_classes():
+            assert "code" in cls.__dict__, (
+                f"{cls.__name__} inherits its code implicitly")
+
     def test_transient_failures_are_retryable(self):
         for cls in (TaskTimeoutError, CacheLockTimeout, RunInterrupted,
                     WorkerCrashError, AdmissionRejected, QuotaExceeded,
@@ -61,6 +74,21 @@ class TestTaxonomy:
         for cls in (errors.ConfigError, errors.LayoutError,
                     errors.NetlistError, InvalidRequest):
             assert not cls.retryable, cls
+
+    def test_remote_cache_family_registered(self):
+        """The remote tier's fault model: every code dotted under
+        ``cache.remote`` and transient by design (the tier is an
+        optimisation — its failures must never fail a run)."""
+        family = {
+            errors.RemoteCacheError: "cache.remote.error",
+            errors.RemoteCacheTimeout: "cache.remote.timeout",
+            errors.RemoteCacheIntegrityError: "cache.remote.integrity",
+            errors.RemoteCacheUnavailable: "cache.remote.unavailable",
+        }
+        for cls, code in family.items():
+            assert cls.code == code
+            assert cls.retryable is True
+            assert issubclass(cls, errors.RemoteCacheError)
 
     def test_to_dict_shape(self):
         record = errors.MeshError("bad mesh").to_dict()

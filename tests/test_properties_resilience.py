@@ -1,0 +1,157 @@
+"""Property tests for the network-resilience state machines.
+
+Two contracts the remote cache tier leans on:
+
+* the :class:`CircuitBreaker` never admits a call while open before
+  the probe window elapses, and in half-open admits *exactly one*
+  probe per window — no matter what interleaving of successes and
+  failures produced the state;
+* a jittered :meth:`RetryPolicy.delay` always stays within
+  ``[backoff, backoff_cap]`` — jitter de-synchronises retries, it
+  never fires one early or stretches one past the cap.
+"""
+
+import random
+import warnings
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+# The failure-reporting hook of the hypothesis pytest plugin imports
+# libcst lazily, whose import raises a DeprecationWarning that this
+# repo escalates to an error; import it once here, quietly, so a
+# genuine failing example reports normally instead of INTERNALERROR.
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    try:
+        import hypothesis.extra._patching  # noqa: F401
+    except ImportError:  # pragma: no cover - optional extra
+        pass
+
+from repro.resilience.breaker import (  # noqa: E402
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.retry import RetryPolicy  # noqa: E402
+
+
+class _FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# one driver step: attempt a call with this outcome, or advance time
+_step = st.one_of(
+    st.tuples(st.just("call"), st.booleans()),
+    st.tuples(st.just("tick"), st.floats(min_value=0.01, max_value=30.0,
+                                         allow_nan=False)),
+)
+
+
+def _drive(breaker, clock, steps):
+    """Replay a step sequence, asserting the admission invariants."""
+    for kind, value in steps:
+        if kind == "tick":
+            clock.advance(value)
+            continue
+        state_before = breaker.state
+        admitted = breaker.allow()
+        if state_before == STATE_CLOSED:
+            assert admitted, "closed breaker refused a call"
+        elif state_before == STATE_OPEN:
+            # The reset window has NOT elapsed (state says open, not
+            # half-open): nothing may get through.
+            assert not admitted, "open breaker admitted before probe window"
+        if not admitted:
+            continue
+        if value:
+            breaker.record_success()
+            assert breaker.state == STATE_CLOSED
+        else:
+            breaker.record_failure()
+
+
+@settings(max_examples=120, deadline=None)
+@given(threshold=st.integers(min_value=1, max_value=6),
+       reset=st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+       steps=st.lists(_step, min_size=0, max_size=40))
+def test_breaker_never_admits_while_open(threshold, reset, steps):
+    clock = _FakeClock()
+    breaker = CircuitBreaker(failure_threshold=threshold,
+                             reset_timeout=reset, clock=clock)
+    _drive(breaker, clock, steps)
+
+
+@settings(max_examples=120, deadline=None)
+@given(threshold=st.integers(min_value=1, max_value=6),
+       reset=st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+       steps=st.lists(_step, min_size=0, max_size=30),
+       extra_callers=st.integers(min_value=1, max_value=8))
+def test_half_open_admits_exactly_one_probe(threshold, reset, steps,
+                                            extra_callers):
+    clock = _FakeClock()
+    breaker = CircuitBreaker(failure_threshold=threshold,
+                             reset_timeout=reset, clock=clock)
+    _drive(breaker, clock, steps)
+    # Force the breaker open, elapse the window, then race N callers:
+    # exactly one wins the probe slot, everyone else is refused until
+    # its outcome is recorded.
+    for _ in range(threshold):
+        if breaker.allow():
+            breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    # Strictly past the window: `advance(reset)` alone can land a ULP
+    # short after accumulated float ticks.
+    clock.advance(reset * 1.01 + 1e-9)
+    assert breaker.state == STATE_HALF_OPEN
+    admissions = [breaker.allow() for _ in range(extra_callers + 1)]
+    assert admissions.count(True) == 1
+    assert admissions[0] is True
+    # The failed probe re-opens a fresh window; the next probe only
+    # comes after another full reset_timeout.
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    assert not breaker.allow()
+    clock.advance(reset * 1.01 + 1e-9)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+
+
+@settings(max_examples=200, deadline=None)
+@given(backoff=st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+       cap_factor=st.floats(min_value=1.0, max_value=100.0,
+                            allow_nan=False),
+       jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+       attempt=st.integers(min_value=1, max_value=30),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_jittered_delay_stays_within_bounds(backoff, cap_factor, jitter,
+                                            attempt, seed):
+    cap = backoff * cap_factor
+    policy = RetryPolicy(retries=1, backoff=backoff, backoff_cap=cap,
+                         jitter=jitter)
+    delay = policy.delay(attempt, rng=random.Random(seed))
+    assert backoff <= delay <= cap
+    # The deterministic rung (no rng) is an upper bound on any
+    # jittered draw of the same attempt.
+    assert delay <= policy.delay(attempt)
+
+
+def test_deterministic_delay_is_the_exponential_rung():
+    policy = RetryPolicy(retries=3, backoff=0.05, backoff_cap=0.5,
+                         jitter=0.5)
+    assert policy.delay(1) == pytest.approx(0.05)
+    assert policy.delay(2) == pytest.approx(0.10)
+    assert policy.delay(5) == pytest.approx(0.5)  # capped
